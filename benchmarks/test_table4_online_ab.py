@@ -1,0 +1,99 @@
+"""Table IV reproduction: simulated online A/B test on new arrivals.
+
+Paper reference (Section IV-C): HiGNN deployed for new-arrival (cold
+start) recommendations lifts all four business metrics over the
+incumbent on two testing days —
+
+    UV  +1.90% / +2.04%     CNT +2.76% / +2.11%
+    CTR +0.34% / +0.66%     CVR +2.25% / +2.09%
+
+Here the control arm ranks new items by a DIN-score table (the deployed
+graph-free model) and the treatment arm ranks by a CVR model over
+HiGNN's hierarchical embeddings; both serve the same simulated visitor
+population against the ground-truth behaviour oracle.  The expected
+shape: positive lift on every metric, largest on the conversion-side
+metrics (CNT/CVR), modest on UV/CTR.
+"""
+
+import numpy as np
+
+from repro.core.hignn import HiGNN
+from repro.data import load_dataset
+from repro.prediction import CVRTrainConfig, FeatureAssembler, train_cvr_model
+from repro.prediction.din import DINConfig, build_user_histories, din_side_features, train_din
+from repro.prediction.experiment import method_representations, _prepare_train_samples
+from repro.serving import ScoreTableRecommender, cvr_score_table, run_ab_test
+from repro.utils.config import HiGNNConfig, TrainConfig
+from repro.utils.rng import ensure_rng
+
+CVR_CONFIG = CVRTrainConfig(epochs=15)
+
+
+def _treatment(dataset, candidates):
+    config = HiGNNConfig(
+        levels=2, train=TrainConfig(epochs=5, batch_size=256, learning_rate=3e-3)
+    )
+    hierarchy = HiGNN(config, seed=0).fit(dataset.graph)
+    user_repr, item_repr, inter = method_representations(hierarchy, "hignn")
+    assembler = FeatureAssembler.for_dataset(
+        dataset, user_repr, item_repr, interactions=inter
+    )
+    train = _prepare_train_samples(dataset, ensure_rng(0))
+    x, y = assembler.assemble_samples(train)
+    model, _ = train_cvr_model(x, y, CVR_CONFIG, rng=0)
+    table = cvr_score_table(model, assembler, dataset.num_users, candidates)
+    return ScoreTableRecommender(table, candidates)
+
+
+def _control(dataset, candidates):
+    """The incumbent: DIN scores every (user, new item) pair."""
+    model, histories, _ = train_din(
+        dataset,
+        DINConfig(embedding_dim=16, history_length=10),
+        CVR_CONFIG,
+        rng=0,
+    )
+    num_users = dataset.num_users
+    table = np.zeros((num_users, len(candidates)))
+    for start in range(0, num_users, 32):
+        stop = min(start + 32, num_users)
+        users = np.repeat(np.arange(start, stop), len(candidates))
+        items = np.tile(candidates, stop - start)
+        side = din_side_features(dataset, users, items)
+        probs = model.predict_proba(histories[users], items, side)
+        table[start:stop] = probs.reshape(stop - start, len(candidates))
+    return ScoreTableRecommender(table, candidates)
+
+
+def test_table4_online_ab(benchmark, report):
+    def run():
+        dataset = load_dataset("mini-taobao1", size="tiny", seed=0)
+        truth = dataset.ground_truth
+        candidates = np.flatnonzero(truth.new_items)
+        control = _control(dataset, candidates)
+        treatment = _treatment(dataset, candidates)
+        return run_ab_test(
+            truth,
+            control,
+            treatment,
+            num_days=2,
+            visitors_per_day=4000,
+            slate_size=10,
+            candidate_items=candidates,
+            rng=0,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    paper = (
+        "paper:  UV +1.90%/+2.04%  CNT +2.76%/+2.11%  "
+        "CTR +0.34%/+0.66%  CVR +2.25%/+2.09%"
+    )
+    report("table4_online_ab", result.render() + "\n" + paper)
+
+    # Shape: the HiGNN arm lifts the conversion metrics on average.
+    assert result.mean_lift("CVR") > 0
+    assert result.mean_lift("CNT") > 0
+    # Engagement metrics do not regress materially.
+    assert result.mean_lift("CTR") > -0.05
+    assert result.mean_lift("UV") > -0.05

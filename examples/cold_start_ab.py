@@ -1,0 +1,70 @@
+"""Simulated online A/B test on cold-start items (the paper's Table IV).
+
+The paper deploys HiGNN for new-arrival recommendations and reports UV,
+CNT, CTR and CVR lifts over two testing days.  Here the control arm is
+the DIN-style popularity x stats ranker and the treatment arm ranks by a
+CVR model over HiGNN's hierarchical embeddings; both serve slates of
+new-arrival items to the same simulated population.
+
+Run:  python examples/cold_start_ab.py           (~1-2 minutes)
+"""
+
+import numpy as np
+
+from repro import HiGNN, HiGNNConfig, load_dataset
+from repro.prediction import FeatureAssembler, train_cvr_model
+from repro.prediction.experiment import method_representations
+from repro.serving import (
+    PopularityRecommender,
+    ScoreTableRecommender,
+    cvr_score_table,
+    run_ab_test,
+)
+from repro.utils.config import TrainConfig
+
+
+def main() -> None:
+    dataset = load_dataset("mini-taobao1", size="tiny", seed=3)
+    truth = dataset.ground_truth
+    new_items = np.flatnonzero(truth.new_items)
+    print(f"{len(new_items)} new-arrival items in the candidate pool")
+
+    # Treatment: CVR model over HiGNN hierarchical embeddings.
+    hierarchy = HiGNN(
+        HiGNNConfig(levels=2, train=TrainConfig(epochs=5, batch_size=256)),
+        seed=0,
+    ).fit(dataset.graph)
+    user_repr, item_repr, interactions = method_representations(hierarchy, "hignn")
+    assembler = FeatureAssembler.for_dataset(
+        dataset, user_repr, item_repr, interactions=interactions
+    )
+    features, labels = assembler.assemble_samples(dataset.train)
+    model, _ = train_cvr_model(features, labels, rng=0)
+    scores = cvr_score_table(model, assembler, dataset.num_users, new_items)
+    treatment = ScoreTableRecommender(scores, new_items)
+
+    # Control: popularity ranking (what a cold-start system falls back to).
+    clicks = np.zeros(dataset.num_items)
+    np.add.at(clicks, dataset.log.items, dataset.log.clicks.astype(float))
+    control = PopularityRecommender(clicks, new_items)
+
+    report = run_ab_test(
+        truth,
+        control,
+        treatment,
+        num_days=2,
+        visitors_per_day=2000,
+        slate_size=10,
+        candidate_items=new_items,
+        rng=0,
+    )
+    print("\n--- A/B results (control -> treatment) ---")
+    print(report.render())
+    print(
+        f"\nmean lifts: CTR {report.mean_lift('CTR') * 100:+.2f}%  "
+        f"CVR {report.mean_lift('CVR') * 100:+.2f}%"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""CVR prediction shoot-out (a fast cut of the paper's Table III).
+
+Trains DIN (graph-free baseline), GE (single level) and HiGNN (full
+hierarchy) on the dense mini-Taobao dataset and prints test AUCs.
+
+Run:  python examples/cvr_prediction.py          (~2-4 minutes)
+"""
+
+from repro import HiGNNConfig, load_dataset
+from repro.prediction import CVRTrainConfig, run_table3
+from repro.utils.config import TrainConfig
+
+
+def main() -> None:
+    dataset = load_dataset("mini-taobao1", size="small", seed=0)
+    print(f"dataset: {dataset.graph}")
+
+    config = HiGNNConfig(
+        levels=3,
+        train=TrainConfig(epochs=5, batch_size=512, learning_rate=3e-3),
+    )
+    results = run_table3(
+        dataset,
+        hignn_config=config,
+        cvr_config=CVRTrainConfig(epochs=12),
+        methods=("din", "ge", "hignn"),
+        seed=0,
+    )
+
+    print(f"\n{'method':<8} {'AUC':>8} {'seconds':>9}")
+    for name in ("din", "ge", "hignn"):
+        r = results[name]
+        print(f"{name:<8} {r.auc:>8.4f} {r.seconds:>9.1f}")
+    print(
+        "\nExpected shape (paper Table III): the graph methods (ge, hignn) "
+        "clearly ahead of the graph-free din, with hignn at or near the top "
+        "(its margin over ge is small on the dense dataset — 0.007 in the "
+        "paper — and grows on the sparse cold-start dataset; see "
+        "benchmarks/test_table3_auc_comparison.py for the seed-averaged run)."
+    )
+
+
+if __name__ == "__main__":
+    main()

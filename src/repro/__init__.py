@@ -1,0 +1,65 @@
+"""HiGNN — Hierarchical Bipartite Graph Neural Networks (ICDE 2020).
+
+A full, self-contained reproduction of "Hierarchical Bipartite Graph
+Neural Networks: Towards Large-Scale E-commerce Applications" on a
+from-scratch numpy substrate.  See DESIGN.md for the system inventory
+and EXPERIMENTS.md for the per-table/figure reproduction index.
+
+Public API highlights::
+
+    from repro import (
+        BipartiteGraph, HiGNN, HiGNNConfig,
+        load_dataset, load_query_dataset,
+        run_table3, fit_query_item_hignn, build_taxonomy,
+    )
+"""
+
+from repro.graph import BipartiteGraph
+from repro.core import BipartiteGraphSAGE, HiGNN, HierarchicalEmbeddings
+from repro.utils.config import HiGNNConfig, KMeansConfig, SageConfig, TrainConfig
+from repro.data import (
+    EcommerceDataset,
+    QueryItemDataset,
+    TaobaoGenerator,
+    QueryItemGenerator,
+    load_dataset,
+    load_query_dataset,
+)
+from repro.prediction import run_table3, CVRModel, DIN
+from repro.taxonomy import (
+    build_shoal_taxonomy,
+    build_taxonomy,
+    describe_taxonomy,
+    evaluate_taxonomy,
+    fit_query_item_hignn,
+)
+from repro.serving import run_ab_test
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BipartiteGraph",
+    "BipartiteGraphSAGE",
+    "HiGNN",
+    "HierarchicalEmbeddings",
+    "HiGNNConfig",
+    "KMeansConfig",
+    "SageConfig",
+    "TrainConfig",
+    "EcommerceDataset",
+    "QueryItemDataset",
+    "TaobaoGenerator",
+    "QueryItemGenerator",
+    "load_dataset",
+    "load_query_dataset",
+    "run_table3",
+    "CVRModel",
+    "DIN",
+    "build_taxonomy",
+    "build_shoal_taxonomy",
+    "describe_taxonomy",
+    "evaluate_taxonomy",
+    "fit_query_item_hignn",
+    "run_ab_test",
+    "__version__",
+]

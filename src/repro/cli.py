@@ -1,0 +1,194 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.cli stats   [--size small] [--seed 0]
+    python -m repro.cli table3  [--size small] [--seed 0] [--methods ge,hignn,din]
+    python -m repro.cli taxonomy [--size small] [--levels 3] [--seed 0]
+    python -m repro.cli ab      [--size tiny]  [--days 2] [--seed 0]
+
+Each subcommand regenerates one of the paper's experiments at the
+chosen scale and prints the result table.  For the full reproducible
+record, run the benchmark suite instead (``pytest benchmarks/
+--benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HiGNN reproduction experiment runner"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    stats = sub.add_parser("stats", help="Table I/II dataset statistics")
+    _common(stats)
+
+    table3 = sub.add_parser("table3", help="Table III CVR AUC comparison")
+    _common(table3)
+    table3.add_argument(
+        "--methods",
+        default="din,ge,hignn",
+        help="comma-separated subset of: cgnn,din,ge,hup,hia,hignn",
+    )
+    table3.add_argument("--levels", type=int, default=3)
+    table3.add_argument("--epochs", type=int, default=4)
+
+    taxonomy = sub.add_parser("taxonomy", help="Table VII + Fig. 5 taxonomy build")
+    _common(taxonomy)
+    taxonomy.add_argument("--levels", type=int, default=3)
+
+    ab = sub.add_parser("ab", help="Table IV simulated online A/B test")
+    _common(ab)
+    ab.add_argument("--days", type=int, default=2)
+    ab.add_argument("--visitors", type=int, default=2000)
+
+    return parser
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--size", default="small", choices=("tiny", "small", "default"))
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.data import dataset_statistics, load_dataset, load_query_dataset
+
+    print(f"{'dataset':<16} {'users':>8} {'items':>8} {'clicks':>10} {'density':>10}")
+    for name in ("mini-taobao1", "mini-taobao2"):
+        ds = load_dataset(name, size=args.size, seed=args.seed)
+        s = dataset_statistics(ds)
+        print(
+            f"{name:<16} {int(s['users']):>8,} {int(s['items']):>8,} "
+            f"{int(s['clicks']):>10,} {s['density']:>10.2e}"
+        )
+    q = load_query_dataset(size=args.size, seed=args.seed)
+    clicks = float(q.graph.edge_weights.sum())
+    print(
+        f"{'mini-taobao3':<16} {q.num_queries:>8,} {q.num_items:>8,} "
+        f"{int(clicks):>10,} {clicks / (q.num_queries * q.num_items):>10.2e}"
+    )
+    return 0
+
+
+def cmd_table3(args: argparse.Namespace) -> int:
+    from repro.data import load_dataset
+    from repro.prediction import ALL_METHODS, run_table3
+    from repro.utils.config import HiGNNConfig, TrainConfig
+
+    methods = tuple(m.strip() for m in args.methods.split(",") if m.strip())
+    unknown = set(methods) - set(ALL_METHODS)
+    if unknown:
+        print(f"unknown methods: {sorted(unknown)}", file=sys.stderr)
+        return 2
+    config = HiGNNConfig(
+        levels=args.levels,
+        train=TrainConfig(epochs=args.epochs, batch_size=512, learning_rate=3e-3),
+    )
+    for name in ("mini-taobao1", "mini-taobao2"):
+        dataset = load_dataset(name, size=args.size, seed=args.seed)
+        results = run_table3(dataset, config, methods=methods, seed=args.seed)
+        row = "  ".join(f"{m}={results[m].auc:.4f}" for m in methods)
+        print(f"{name}: {row}")
+    return 0
+
+
+def cmd_taxonomy(args: argparse.Namespace) -> int:
+    from repro.data import load_query_dataset
+    from repro.taxonomy import (
+        TaxonomyPipelineConfig,
+        build_shoal_taxonomy,
+        build_taxonomy,
+        describe_taxonomy,
+        evaluate_taxonomy,
+        fit_query_item_hignn,
+    )
+
+    dataset = load_query_dataset(size=args.size, seed=args.seed)
+    config = TaxonomyPipelineConfig(levels=args.levels, embedding_dim=16)
+    hierarchy, _ = fit_query_item_hignn(dataset, config, rng=args.seed)
+    taxonomy = build_taxonomy(hierarchy, dataset)
+    describe_taxonomy(taxonomy, dataset)
+    print(taxonomy.render(max_children=4, max_depth=3))
+    counts = [len(taxonomy.at_level(l)) for l in range(1, taxonomy.num_levels + 1)]
+    shoal = build_shoal_taxonomy(dataset, counts, rng=args.seed)
+    for label, tax in (("HiGNN", taxonomy), ("SHOAL", shoal)):
+        scores = evaluate_taxonomy(tax, dataset)
+        print(
+            f"{label}: levels={int(scores['levels'])} "
+            f"accuracy={scores['accuracy']:.3f} diversity={scores['diversity']:.3f}"
+        )
+    return 0
+
+
+def cmd_ab(args: argparse.Namespace) -> int:
+    from repro.core.hignn import HiGNN
+    from repro.data import load_dataset
+    from repro.prediction import CVRTrainConfig, FeatureAssembler, train_cvr_model
+    from repro.prediction.experiment import _prepare_train_samples, method_representations
+    from repro.serving import (
+        PopularityRecommender,
+        ScoreTableRecommender,
+        cvr_score_table,
+        run_ab_test,
+    )
+    from repro.utils.config import HiGNNConfig, TrainConfig
+    from repro.utils.rng import ensure_rng
+
+    dataset = load_dataset("mini-taobao1", size=args.size, seed=args.seed)
+    truth = dataset.ground_truth
+    candidates = np.flatnonzero(truth.new_items)
+    hierarchy = HiGNN(
+        HiGNNConfig(levels=2, train=TrainConfig(epochs=5, batch_size=256)),
+        seed=args.seed,
+    ).fit(dataset.graph)
+    user_repr, item_repr, inter = method_representations(hierarchy, "hignn")
+    assembler = FeatureAssembler.for_dataset(
+        dataset, user_repr, item_repr, interactions=inter
+    )
+    train = _prepare_train_samples(dataset, ensure_rng(args.seed))
+    x, y = assembler.assemble_samples(train)
+    model, _ = train_cvr_model(x, y, CVRTrainConfig(epochs=12), rng=args.seed)
+    table = cvr_score_table(model, assembler, dataset.num_users, candidates)
+    treatment = ScoreTableRecommender(table, candidates)
+    clicks = np.zeros(dataset.num_items)
+    np.add.at(clicks, dataset.log.items, dataset.log.clicks.astype(float))
+    control = PopularityRecommender(clicks, candidates)
+    report = run_ab_test(
+        truth,
+        control,
+        treatment,
+        num_days=args.days,
+        visitors_per_day=args.visitors,
+        slate_size=10,
+        candidate_items=candidates,
+        rng=args.seed,
+    )
+    print(report.render())
+    return 0
+
+
+_COMMANDS = {
+    "stats": cmd_stats,
+    "table3": cmd_table3,
+    "taxonomy": cmd_taxonomy,
+    "ab": cmd_ab,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,20 @@
+"""Deterministic clustering: K-means variants, validity indices, HAC."""
+
+from repro.clustering.kmeans import KMeansResult, assign_to_centers, kmeans, kmeans_plus_plus
+from repro.clustering.validity import calinski_harabasz, davies_bouldin, silhouette
+from repro.clustering.agglomerative import agglomerative_cluster, agglomerative_levels
+from repro.clustering.autok import cluster_with_auto_k, select_k
+
+__all__ = [
+    "KMeansResult",
+    "kmeans",
+    "kmeans_plus_plus",
+    "assign_to_centers",
+    "calinski_harabasz",
+    "davies_bouldin",
+    "silhouette",
+    "agglomerative_cluster",
+    "agglomerative_levels",
+    "select_k",
+    "cluster_with_auto_k",
+]

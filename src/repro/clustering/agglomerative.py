@@ -1,0 +1,58 @@
+"""Hierarchical agglomerative clustering.
+
+This is the clustering engine of the SHOAL baseline (Section II-C /
+Section V-D): the paper characterises SHOAL as performing "parallel
+hierarchical agglomerative clustering" over fixed metric embeddings.
+Built on scipy's linkage for correctness and speed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.cluster.hierarchy import fcluster, linkage
+
+__all__ = ["agglomerative_cluster", "agglomerative_levels"]
+
+_LINKAGES = {"average", "complete", "single", "ward"}
+
+
+def agglomerative_cluster(
+    points: np.ndarray,
+    n_clusters: int,
+    method: str = "average",
+) -> np.ndarray:
+    """Cut an agglomerative dendrogram into ``n_clusters`` flat labels.
+
+    Labels are re-indexed to a dense 0-based range.
+    """
+    if method not in _LINKAGES:
+        raise ValueError(f"unknown linkage {method!r}; choose from {sorted(_LINKAGES)}")
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    n = len(points)
+    if n == 0:
+        raise ValueError("cannot cluster an empty point set")
+    n_clusters = max(1, min(n_clusters, n))
+    if n == 1 or n_clusters == n:
+        return np.arange(n) if n_clusters == n else np.zeros(n, dtype=np.int64)
+    tree = linkage(points, method=method)
+    raw = fcluster(tree, t=n_clusters, criterion="maxclust")
+    _, dense = np.unique(raw, return_inverse=True)
+    return dense.astype(np.int64)
+
+
+def agglomerative_levels(
+    points: np.ndarray,
+    cluster_counts: list[int],
+    method: str = "average",
+) -> list[np.ndarray]:
+    """Cut the same dendrogram at several granularities.
+
+    ``cluster_counts`` should be decreasing (fine -> coarse);
+    returns one dense label array per requested level, computed from a
+    single linkage so the levels are nested the way a taxonomy expects.
+    """
+    if not cluster_counts:
+        raise ValueError("cluster_counts must be non-empty")
+    return [agglomerative_cluster(points, k, method=method) for k in cluster_counts]

@@ -1,0 +1,53 @@
+"""Automatic cluster-count selection via the Calinski–Harabasz index.
+
+Implements the Eq. 13 objective the paper uses for the taxonomy task:
+pick the k maximising CH(k) over a candidate set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.kmeans import KMeansResult, kmeans
+from repro.clustering.validity import calinski_harabasz
+from repro.utils.config import KMeansConfig
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["select_k", "cluster_with_auto_k"]
+
+
+def select_k(
+    points: np.ndarray,
+    candidates: list[int] | tuple[int, ...],
+    config: KMeansConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[int, dict[int, float]]:
+    """Return the CH-maximising k and the full candidate->score map.
+
+    Candidates that collapse to fewer than 2 effective clusters score 0.
+    """
+    if not candidates:
+        raise ValueError("candidates must be non-empty")
+    rng = ensure_rng(rng)
+    points = np.asarray(points, dtype=np.float64)
+    scores: dict[int, float] = {}
+    for k in candidates:
+        if k < 2 or k >= len(points):
+            scores[k] = 0.0
+            continue
+        result = kmeans(points, k, config=config, rng=derive_rng(rng, k))
+        scores[k] = calinski_harabasz(points, result.labels)
+    best = max(scores, key=lambda k: scores[k])
+    return best, scores
+
+
+def cluster_with_auto_k(
+    points: np.ndarray,
+    candidates: list[int] | tuple[int, ...],
+    config: KMeansConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> KMeansResult:
+    """Cluster with the k chosen by :func:`select_k` (one final fit)."""
+    rng = ensure_rng(rng)
+    best, _ = select_k(points, candidates, config=config, rng=rng)
+    return kmeans(points, best, config=config, rng=rng)

@@ -1,0 +1,216 @@
+"""K-means clustering — the deterministic clustering stage of HiGNN.
+
+Three variants are provided:
+
+* ``lloyd`` — classic batch Lloyd iterations with k-means++ seeding.
+* ``minibatch`` — Sculley-style mini-batch updates.
+* ``single_pass`` — the paper's scalability choice (Section III-D):
+  "we use the single-pass version which estimates the cluster centers
+  with a single pass over all data".  Centres are k-means++-seeded, then
+  each point is assigned once and pulls its centre with a per-centre
+  decaying learning rate; a final assignment pass labels every point.
+
+All variants are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.utils.config import KMeansConfig
+from repro.utils.rng import ensure_rng
+
+__all__ = ["KMeansResult", "kmeans", "kmeans_plus_plus", "assign_to_centers"]
+
+
+@dataclass(frozen=True)
+class KMeansResult:
+    """Clustering output.
+
+    Attributes
+    ----------
+    centers:
+        ``(k, d)`` centroid matrix.
+    labels:
+        Per-point cluster ids in ``[0, k)``.
+    inertia:
+        Sum of squared distances of points to their assigned centroid.
+    n_iter:
+        Lloyd iterations executed (1 for single-pass, batches for minibatch).
+    """
+
+    centers: np.ndarray
+    labels: np.ndarray
+    inertia: float
+    n_iter: int
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.centers)
+
+
+def kmeans(
+    points: np.ndarray,
+    n_clusters: int,
+    config: KMeansConfig | None = None,
+    rng: int | np.random.Generator | None = None,
+) -> KMeansResult:
+    """Cluster ``points`` into ``n_clusters`` groups.
+
+    Dispatches on ``config.algorithm``; runs ``config.n_init`` restarts
+    and keeps the lowest-inertia result.  ``n_clusters`` is clamped to
+    the number of distinct points.
+    """
+    config = config or KMeansConfig()
+    rng = ensure_rng(rng)
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    if len(points) == 0:
+        raise ValueError("cannot cluster an empty point set")
+    if n_clusters < 1:
+        raise ValueError("n_clusters must be >= 1")
+    n_distinct = len(np.unique(points, axis=0))
+    n_clusters = min(n_clusters, n_distinct)
+
+    best: KMeansResult | None = None
+    for _ in range(max(1, config.n_init)):
+        if config.algorithm == "lloyd":
+            result = _lloyd(points, n_clusters, config, rng)
+        elif config.algorithm == "minibatch":
+            result = _minibatch(points, n_clusters, config, rng)
+        else:
+            result = _single_pass(points, n_clusters, rng)
+        if best is None or result.inertia < best.inertia:
+            best = result
+    assert best is not None
+    return best
+
+
+def kmeans_plus_plus(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> np.ndarray:
+    """k-means++ seeding (Arthur & Vassilvitskii, 2007)."""
+    n = len(points)
+    centers = np.empty((n_clusters, points.shape[1]))
+    first = int(rng.integers(n))
+    centers[0] = points[first]
+    closest_sq = _sq_dist_to(points, centers[0])
+    for c in range(1, n_clusters):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with an existing centre.
+            centers[c:] = points[rng.integers(n, size=n_clusters - c)]
+            break
+        probs = closest_sq / total
+        idx = int(rng.choice(n, p=probs))
+        centers[c] = points[idx]
+        closest_sq = np.minimum(closest_sq, _sq_dist_to(points, centers[c]))
+    return centers
+
+
+def assign_to_centers(points: np.ndarray, centers: np.ndarray) -> tuple[np.ndarray, float]:
+    """Nearest-centre labels and the resulting inertia."""
+    dists = _pairwise_sq_dists(points, centers)
+    labels = dists.argmin(axis=1)
+    inertia = float(dists[np.arange(len(points)), labels].sum())
+    return labels, inertia
+
+
+def _lloyd(
+    points: np.ndarray,
+    n_clusters: int,
+    config: KMeansConfig,
+    rng: np.random.Generator,
+) -> KMeansResult:
+    centers = kmeans_plus_plus(points, n_clusters, rng)
+    labels, inertia = assign_to_centers(points, centers)
+    for iteration in range(1, config.max_iter + 1):
+        centers = _recompute_centers(points, labels, centers, rng)
+        labels, new_inertia = assign_to_centers(points, centers)
+        if abs(inertia - new_inertia) <= config.tol * max(inertia, 1e-12):
+            inertia = new_inertia
+            break
+        inertia = new_inertia
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=iteration)
+
+
+def _minibatch(
+    points: np.ndarray,
+    n_clusters: int,
+    config: KMeansConfig,
+    rng: np.random.Generator,
+) -> KMeansResult:
+    centers = kmeans_plus_plus(points, n_clusters, rng)
+    counts = np.zeros(n_clusters)
+    n_batches = max(1, config.max_iter)
+    for _ in range(n_batches):
+        batch_idx = rng.integers(len(points), size=min(config.batch_size, len(points)))
+        batch = points[batch_idx]
+        labels, _ = assign_to_centers(batch, centers)
+        for label, point in zip(labels, batch):
+            counts[label] += 1.0
+            eta = 1.0 / counts[label]
+            centers[label] = (1.0 - eta) * centers[label] + eta * point
+    labels, inertia = assign_to_centers(points, centers)
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=n_batches)
+
+
+def _single_pass(
+    points: np.ndarray, n_clusters: int, rng: np.random.Generator
+) -> KMeansResult:
+    centers = kmeans_plus_plus(points, n_clusters, rng)
+    counts = np.ones(n_clusters)  # seeds count as one observation
+    order = rng.permutation(len(points))
+    for idx in order:
+        point = points[idx]
+        label = int(_sq_dist_to_many(point, centers).argmin())
+        counts[label] += 1.0
+        centers[label] += (point - centers[label]) / counts[label]
+    labels, inertia = assign_to_centers(points, centers)
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=1)
+
+
+def _recompute_centers(
+    points: np.ndarray,
+    labels: np.ndarray,
+    old_centers: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    k, dim = old_centers.shape
+    sums = np.zeros((k, dim))
+    np.add.at(sums, labels, points)
+    counts = np.bincount(labels, minlength=k).astype(np.float64)
+    centers = old_centers.copy()
+    occupied = counts > 0
+    centers[occupied] = sums[occupied] / counts[occupied, None]
+    # Re-seed empty clusters at the points farthest from their centres.
+    empty = np.flatnonzero(~occupied)
+    if len(empty):
+        dists = _pairwise_sq_dists(points, centers).min(axis=1)
+        farthest = np.argsort(dists)[::-1]
+        for slot, point_idx in zip(empty, farthest[: len(empty)]):
+            centers[slot] = points[point_idx]
+    return centers
+
+
+def _sq_dist_to(points: np.ndarray, center: np.ndarray) -> np.ndarray:
+    diff = points - center
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def _sq_dist_to_many(point: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    diff = centers - point
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def _pairwise_sq_dists(points: np.ndarray, centers: np.ndarray) -> np.ndarray:
+    # ||x - c||^2 = ||x||^2 - 2 x.c + ||c||^2, clipped at 0 for fp safety.
+    sq = (
+        np.einsum("ij,ij->i", points, points)[:, None]
+        - 2.0 * points @ centers.T
+        + np.einsum("ij,ij->i", centers, centers)[None, :]
+    )
+    return np.maximum(sq, 0.0)

@@ -1,0 +1,108 @@
+"""Cluster validity indices.
+
+``calinski_harabasz`` implements Eq. 13 of the paper — the criterion the
+taxonomy pipeline maximises to select the number of clusters per level:
+CH = (D_B(k) / D_W(k)) * ((N - k) / (k - 1)).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["calinski_harabasz", "davies_bouldin", "silhouette"]
+
+
+def _check(points: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray, int]:
+    points = np.asarray(points, dtype=np.float64)
+    labels = np.asarray(labels, dtype=np.int64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    if labels.shape != (len(points),):
+        raise ValueError("labels must align with points")
+    k = len(np.unique(labels))
+    return points, labels, k
+
+
+def calinski_harabasz(points: np.ndarray, labels: np.ndarray) -> float:
+    """Calinski–Harabasz index (Eq. 13); higher is better.
+
+    Returns 0.0 for the degenerate single-cluster case.
+    """
+    points, labels, k = _check(points, labels)
+    n = len(points)
+    if k < 2 or n <= k:
+        return 0.0
+    overall = points.mean(axis=0)
+    between = 0.0
+    within = 0.0
+    for cluster in np.unique(labels):
+        members = points[labels == cluster]
+        center = members.mean(axis=0)
+        between += len(members) * float(np.sum((center - overall) ** 2))
+        within += float(np.sum((members - center) ** 2))
+    if within <= 0:
+        return float("inf")
+    return (between / within) * ((n - k) / (k - 1))
+
+
+def davies_bouldin(points: np.ndarray, labels: np.ndarray) -> float:
+    """Davies–Bouldin index; lower is better."""
+    points, labels, k = _check(points, labels)
+    if k < 2:
+        return 0.0
+    unique = np.unique(labels)
+    centers = np.stack([points[labels == c].mean(axis=0) for c in unique])
+    scatters = np.array(
+        [
+            np.sqrt(np.mean(np.sum((points[labels == c] - centers[j]) ** 2, axis=1)))
+            for j, c in enumerate(unique)
+        ]
+    )
+    total = 0.0
+    for i in range(k):
+        ratios = []
+        for j in range(k):
+            if i == j:
+                continue
+            dist = float(np.linalg.norm(centers[i] - centers[j]))
+            if dist == 0:
+                ratios.append(float("inf"))
+            else:
+                ratios.append((scatters[i] + scatters[j]) / dist)
+        total += max(ratios)
+    return total / k
+
+
+def silhouette(points: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette coefficient in [-1, 1]; higher is better.
+
+    O(n^2) — intended for the modest point counts of the test suite and
+    taxonomy levels, not raw datasets.
+    """
+    points, labels, k = _check(points, labels)
+    n = len(points)
+    if k < 2 or n < 3:
+        return 0.0
+    dists = np.sqrt(
+        np.maximum(
+            np.sum(points**2, axis=1)[:, None]
+            - 2 * points @ points.T
+            + np.sum(points**2, axis=1)[None, :],
+            0.0,
+        )
+    )
+    scores = np.zeros(n)
+    unique = np.unique(labels)
+    for idx in range(n):
+        own = labels[idx]
+        own_mask = labels == own
+        n_own = own_mask.sum()
+        if n_own <= 1:
+            scores[idx] = 0.0
+            continue
+        a = dists[idx][own_mask].sum() / (n_own - 1)
+        b = min(
+            dists[idx][labels == other].mean() for other in unique if other != own
+        )
+        scores[idx] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())

@@ -1,0 +1,28 @@
+"""The paper's primary contribution: bipartite GraphSAGE + HiGNN stacking."""
+
+from repro.core.sage import BipartiteGraphSAGE
+from repro.core.loss import EdgeSimilarityHead, bipartite_graph_loss
+from repro.core.trainer import SageTrainer, SageTrainResult
+from repro.core.hierarchy import HierarchicalEmbeddings, LevelRecord
+from repro.core.hignn import HiGNN
+from repro.core.evaluate import (
+    cluster_purity,
+    item_retrieval_recall,
+    link_prediction_auc,
+    normalized_mutual_information,
+)
+
+__all__ = [
+    "BipartiteGraphSAGE",
+    "EdgeSimilarityHead",
+    "bipartite_graph_loss",
+    "SageTrainer",
+    "SageTrainResult",
+    "HierarchicalEmbeddings",
+    "LevelRecord",
+    "HiGNN",
+    "cluster_purity",
+    "item_retrieval_recall",
+    "link_prediction_auc",
+    "normalized_mutual_information",
+]

@@ -1,0 +1,123 @@
+"""Diagnostics for unsupervised embeddings.
+
+The paper never evaluates its unsupervised stage in isolation, but
+practitioners need to: these helpers score a fitted GraphSAGE module (or
+raw embedding matrices) on link reconstruction and neighbourhood
+ranking, and score cluster assignments against any reference labelling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.metrics.auc import auc
+from repro.metrics.ranking import recall_at_k
+from repro.utils.rng import ensure_rng
+
+__all__ = [
+    "link_prediction_auc",
+    "item_retrieval_recall",
+    "cluster_purity",
+    "normalized_mutual_information",
+]
+
+
+def link_prediction_auc(
+    graph: BipartiteGraph,
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+    num_samples: int = 2000,
+    rng: int | np.random.Generator | None = 0,
+) -> float:
+    """AUC of dot-product scores: observed edges vs random non-pairs.
+
+    The standard sanity check for edge-reconstruction embeddings —
+    roughly 0.5 means the embeddings carry no structure.
+    """
+    rng = ensure_rng(rng)
+    n = min(num_samples, graph.num_edges)
+    if n == 0:
+        raise ValueError("graph has no edges")
+    pos_idx = rng.choice(graph.num_edges, size=n, replace=False)
+    pos_pairs = graph.edges[pos_idx]
+    neg_users = rng.integers(0, graph.num_users, size=n)
+    neg_items = rng.integers(0, graph.num_items, size=n)
+
+    pos_scores = np.einsum(
+        "ij,ij->i", user_embeddings[pos_pairs[:, 0]], item_embeddings[pos_pairs[:, 1]]
+    )
+    neg_scores = np.einsum(
+        "ij,ij->i", user_embeddings[neg_users], item_embeddings[neg_items]
+    )
+    labels = np.concatenate([np.ones(n), np.zeros(n)])
+    return auc(labels, np.concatenate([pos_scores, neg_scores]))
+
+
+def item_retrieval_recall(
+    graph: BipartiteGraph,
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+    k: int = 10,
+    num_users: int = 200,
+    rng: int | np.random.Generator | None = 0,
+) -> float:
+    """Mean recall@k of each user's true items under dot-product ranking."""
+    rng = ensure_rng(rng)
+    users = rng.choice(
+        graph.num_users, size=min(num_users, graph.num_users), replace=False
+    )
+    recalls = []
+    for user in users:
+        relevant = set(int(i) for i in graph.item_neighbors(int(user)))
+        if not relevant:
+            continue
+        scores = item_embeddings @ user_embeddings[int(user)]
+        recalls.append(recall_at_k(relevant, scores, k))
+    if not recalls:
+        raise ValueError("no sampled user has any neighbours")
+    return float(np.mean(recalls))
+
+
+def cluster_purity(labels: np.ndarray, reference: np.ndarray) -> float:
+    """Fraction of points whose cluster's majority reference label matches."""
+    labels = np.asarray(labels)
+    reference = np.asarray(reference)
+    if labels.shape != reference.shape:
+        raise ValueError("labels and reference must align")
+    total = 0
+    for c in np.unique(labels):
+        members = reference[labels == c]
+        total += np.bincount(members).max()
+    return total / len(labels)
+
+
+def normalized_mutual_information(labels: np.ndarray, reference: np.ndarray) -> float:
+    """NMI in [0, 1] between two hard clusterings (arithmetic mean norm)."""
+    labels = np.asarray(labels)
+    reference = np.asarray(reference)
+    if labels.shape != reference.shape:
+        raise ValueError("labels and reference must align")
+    n = len(labels)
+    if n == 0:
+        raise ValueError("empty labelings")
+    eps = 1e-15
+
+    def entropy(arr: np.ndarray) -> float:
+        probs = np.bincount(arr) / n
+        probs = probs[probs > 0]
+        return float(-np.sum(probs * np.log(probs)))
+
+    h_l, h_r = entropy(labels), entropy(reference)
+    if h_l < eps or h_r < eps:
+        return 1.0 if h_l < eps and h_r < eps else 0.0
+    mutual = 0.0
+    for c in np.unique(labels):
+        mask = labels == c
+        p_c = mask.mean()
+        sub = reference[mask]
+        for r in np.unique(sub):
+            p_joint = np.sum(sub == r) / n
+            p_r = np.mean(reference == r)
+            mutual += p_joint * np.log(p_joint / (p_c * p_r) + eps)
+    return float(mutual / (0.5 * (h_l + h_r)))

@@ -1,0 +1,150 @@
+"""Hierarchical embedding bookkeeping (Section IV-A).
+
+After Algorithm 1 runs, each base user belongs to one cluster per level;
+its *hierarchical user preference* is the concatenation of its own
+level-1 embedding with its cluster embeddings at levels 2..L:
+``z_u^H = CONCAT(z_u^1, z_u^2, ..., z_u^L)`` — and symmetrically the
+*hierarchical item attractiveness* ``z_i^H``.  This module resolves the
+level-wise membership chains and materialises those concatenations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["LevelRecord", "HierarchicalEmbeddings"]
+
+
+@dataclass
+class LevelRecord:
+    """Artifacts of one HiGNN level ``l`` (1-based).
+
+    Attributes
+    ----------
+    graph:
+        The input graph G^{l-1} this level's GraphSAGE ran on.
+    user_embeddings, item_embeddings:
+        Z_u^l, Z_i^l — embeddings of G^{l-1}'s vertices.
+    user_assignment, item_assignment:
+        K-means labels mapping G^{l-1} vertices to G^l vertices.
+    coarse_graph:
+        G^l, the coarsened output graph.
+    """
+
+    level: int
+    graph: BipartiteGraph
+    user_embeddings: np.ndarray
+    item_embeddings: np.ndarray
+    user_assignment: np.ndarray
+    item_assignment: np.ndarray
+    coarse_graph: BipartiteGraph
+
+
+@dataclass
+class HierarchicalEmbeddings:
+    """The full output of Algorithm 1: G, Z_u, Z_i across levels."""
+
+    levels: list[LevelRecord] = field(default_factory=list)
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def base_graph(self) -> BipartiteGraph:
+        return self.levels[0].graph
+
+    def _check(self) -> None:
+        if not self.levels:
+            raise ValueError("no levels recorded")
+
+    # ------------------------------------------------------------------
+    # Membership chains
+    # ------------------------------------------------------------------
+    def user_membership(self, level: int) -> np.ndarray:
+        """Map base users to their vertex id in G^{level-1}.
+
+        ``level=1`` is the identity (base users are G^0 vertices); higher
+        levels compose the K-means assignments.
+        """
+        self._check()
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(f"level must be in [1, {self.num_levels}]")
+        membership = np.arange(self.base_graph.num_users)
+        for record in self.levels[: level - 1]:
+            membership = record.user_assignment[membership]
+        return membership
+
+    def item_membership(self, level: int) -> np.ndarray:
+        """Map base items to their vertex id in G^{level-1}."""
+        self._check()
+        if not 1 <= level <= self.num_levels:
+            raise ValueError(f"level must be in [1, {self.num_levels}]")
+        membership = np.arange(self.base_graph.num_items)
+        for record in self.levels[: level - 1]:
+            membership = record.item_assignment[membership]
+        return membership
+
+    # ------------------------------------------------------------------
+    # Per-level embeddings resolved to base vertices
+    # ------------------------------------------------------------------
+    def user_level_embeddings(self, level: int) -> np.ndarray:
+        """z_u^level for every base user (cluster embedding for level>1)."""
+        record = self.levels[level - 1]
+        return record.user_embeddings[self.user_membership(level)]
+
+    def item_level_embeddings(self, level: int) -> np.ndarray:
+        """z_i^level for every base item."""
+        record = self.levels[level - 1]
+        return record.item_embeddings[self.item_membership(level)]
+
+    # ------------------------------------------------------------------
+    # Hierarchical concatenations (Section IV-A)
+    # ------------------------------------------------------------------
+    def hierarchical_user_embeddings(self, max_level: int | None = None) -> np.ndarray:
+        """z_u^H = CONCAT(z_u^1 ... z_u^L) for every base user."""
+        self._check()
+        top = max_level or self.num_levels
+        return np.concatenate(
+            [self.user_level_embeddings(l) for l in range(1, top + 1)], axis=1
+        )
+
+    def hierarchical_item_embeddings(self, max_level: int | None = None) -> np.ndarray:
+        """z_i^H = CONCAT(z_i^1 ... z_i^L) for every base item."""
+        self._check()
+        top = max_level or self.num_levels
+        return np.concatenate(
+            [self.item_level_embeddings(l) for l in range(1, top + 1)], axis=1
+        )
+
+    # ------------------------------------------------------------------
+    # Cluster views (taxonomy support)
+    # ------------------------------------------------------------------
+    def item_clusters_at_level(self, level: int) -> dict[int, np.ndarray]:
+        """Base items grouped by their G^level cluster id.
+
+        ``level`` here counts coarsenings: level 1 groups by the first
+        K-means pass, level L by the last.
+        """
+        membership = self.item_membership(level + 1) if level < self.num_levels else None
+        if membership is None:
+            # After the final level: compose through the last assignment.
+            membership = self.levels[-1].item_assignment[self.item_membership(self.num_levels)]
+        clusters: dict[int, np.ndarray] = {}
+        for cluster in np.unique(membership):
+            clusters[int(cluster)] = np.flatnonzero(membership == cluster)
+        return clusters
+
+    def user_clusters_at_level(self, level: int) -> dict[int, np.ndarray]:
+        """Base users grouped by their G^level cluster id."""
+        membership = self.user_membership(level + 1) if level < self.num_levels else None
+        if membership is None:
+            membership = self.levels[-1].user_assignment[self.user_membership(self.num_levels)]
+        clusters: dict[int, np.ndarray] = {}
+        for cluster in np.unique(membership):
+            clusters[int(cluster)] = np.flatnonzero(membership == cluster)
+        return clusters

@@ -1,0 +1,148 @@
+"""HiGNN — Algorithm 1 of the paper.
+
+Stack bipartite GraphSAGE and deterministic clustering alternately:
+
+1. ``(Z_u^l, Z_i^l) <- BG(G^{l-1}, X_u^{l-1}, X_i^{l-1})``
+2. ``C_u^l, C_i^l <- Kmeans(Z_u^l), Kmeans(Z_i^l)``
+3. ``(G^l, X_u^l, X_i^l) <- F(C_u^l, C_i^l, G^{l-1})``
+
+repeated L times.  The output hierarchy (graphs, embeddings and cluster
+assignments per level) is wrapped in
+:class:`repro.core.hierarchy.HierarchicalEmbeddings`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.autok import cluster_with_auto_k
+from repro.clustering.kmeans import kmeans
+from repro.core.hierarchy import HierarchicalEmbeddings, LevelRecord
+from repro.core.sage import BipartiteGraphSAGE
+from repro.core.trainer import SageTrainer
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.coarsen import coarsen
+from repro.utils.config import HiGNNConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["HiGNN"]
+
+logger = get_logger("core.hignn")
+
+
+class HiGNN:
+    """Hierarchical bipartite graph neural network.
+
+    Example
+    -------
+    >>> from repro.utils.config import HiGNNConfig
+    >>> model = HiGNN(HiGNNConfig(levels=2), seed=0)      # doctest: +SKIP
+    >>> hierarchy = model.fit(graph)                      # doctest: +SKIP
+    >>> z_h_users = hierarchy.hierarchical_user_embeddings()  # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        config: HiGNNConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+    ) -> None:
+        self.config = config or HiGNNConfig()
+        self.rng = ensure_rng(seed)
+        self.modules_: list[BipartiteGraphSAGE] = []
+
+    def fit(self, graph: BipartiteGraph) -> HierarchicalEmbeddings:
+        """Run Algorithm 1 on ``graph`` and return the hierarchy.
+
+        The input graph must carry user and item feature matrices.
+        Levels stop early if a graph degenerates below ``min_clusters``
+        vertices on either side.
+        """
+        if graph.user_features is None or graph.item_features is None:
+            raise ValueError("HiGNN.fit requires a graph with features on both sides")
+        cfg = self.config
+        self.modules_ = []
+        hierarchy = HierarchicalEmbeddings()
+        current = graph
+        for level in range(1, cfg.levels + 1):
+            record = self._run_level(current, level)
+            hierarchy.levels.append(record)
+            current = record.coarse_graph
+            if (
+                current.num_users <= cfg.min_clusters
+                or current.num_items <= cfg.min_clusters
+            ):
+                logger.info("stopping early at level %d: graph degenerated", level)
+                break
+        return hierarchy
+
+    # ------------------------------------------------------------------
+    def _run_level(self, graph: BipartiteGraph, level: int) -> LevelRecord:
+        cfg = self.config
+        rng = derive_rng(self.rng, level)
+        logger.info(
+            "level %d: training GraphSAGE on %d users x %d items (%d edges)",
+            level,
+            graph.num_users,
+            graph.num_items,
+            graph.num_edges,
+        )
+        module = BipartiteGraphSAGE(
+            user_dim=graph.user_features.shape[1],
+            item_dim=graph.item_features.shape[1],
+            config=cfg.sage,
+            rng=derive_rng(rng, 1),
+        )
+        trainer = SageTrainer(module, graph, cfg.train, rng=derive_rng(rng, 2))
+        trainer.fit()
+        self.modules_.append(module)
+        z_users, z_items = module.embed_all(graph)
+
+        user_labels = self._cluster(z_users, graph.num_users, level, "user", derive_rng(rng, 3))
+        item_labels = self._cluster(z_items, graph.num_items, level, "item", derive_rng(rng, 4))
+        result = coarsen(graph, user_labels, item_labels, z_users, z_items)
+        logger.info(
+            "level %d: coarsened to %d x %d",
+            level,
+            result.graph.num_users,
+            result.graph.num_items,
+        )
+        return LevelRecord(
+            level=level,
+            graph=graph,
+            user_embeddings=z_users,
+            item_embeddings=z_items,
+            user_assignment=user_labels,
+            item_assignment=item_labels,
+            coarse_graph=result.graph,
+        )
+
+    def _cluster(
+        self,
+        embeddings: np.ndarray,
+        n_vertices: int,
+        level: int,
+        side: str,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        cfg = self.config
+        if cfg.kmeans.auto_k:
+            if cfg.kmeans.auto_k_candidates:
+                pool = cfg.kmeans.auto_k_candidates
+            else:
+                # CH-grid around the alpha-decay heuristic, scaled to the
+                # *current* graph so deeper levels keep sensible choices.
+                alpha = cfg.cluster_decay
+                pool = {int(round(n_vertices / alpha**p)) for p in (0.5, 1.0, 1.5)}
+            candidates = sorted(
+                {k for k in pool if 2 <= k < n_vertices}
+            ) or [max(2, min(n_vertices - 1, cfg.min_clusters))]
+            result = cluster_with_auto_k(
+                embeddings, candidates, config=cfg.kmeans, rng=rng
+            )
+        else:
+            k = cfg.clusters_at(level, n_vertices, side)
+            result = kmeans(embeddings, k, config=cfg.kmeans, rng=rng)
+        # Re-index labels densely in case clusters collapsed.
+        _, dense = np.unique(result.labels, return_inverse=True)
+        return dense.astype(np.int64)

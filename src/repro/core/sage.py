@@ -1,0 +1,197 @@
+"""Bipartite GraphSAGE (Section III-B, Eqs. 1–4).
+
+Users aggregate embeddings from sampled item neighbours and vice versa.
+Each side owns its aggregators, per-step weight matrices ``W_u^p`` /
+``W_i^p`` and cross-space transformation matrices ``M_i^u`` / ``M_u^i``
+(Eqs. 1–2).  The query–item variant of Section V-B shares one set of
+matrices across both sides (Eqs. 8–11); enable it with
+``SageConfig.shared_space=True`` (requires equal feature dimensions).
+
+Mini-batch computation follows the standard GraphSAGE recipe: to embed
+a batch at step ``p`` we recursively embed its sampled neighbours at
+step ``p-1`` down to the raw features at step 0, with fan-outs
+``K_1, ..., K_P`` (the K's of the paper's complexity analysis,
+Section III-D).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.sampling import NeighborSampler
+from repro.nn.layers import Activation, Linear, Module
+from repro.nn.tensor import Tensor, concat, no_grad, where
+from repro.utils.config import SageConfig
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["BipartiteGraphSAGE"]
+
+
+class BipartiteGraphSAGE(Module):
+    """The bipartite GraphSAGE module BG(G, X_u, X_i) of the paper.
+
+    Parameters
+    ----------
+    user_dim, item_dim:
+        Raw feature dimensions d_u and d_i.
+    config:
+        Hyper-parameters; see :class:`repro.utils.config.SageConfig`.
+    rng:
+        Seed / generator for weight init and neighbour sampling.
+    """
+
+    def __init__(
+        self,
+        user_dim: int,
+        item_dim: int,
+        config: SageConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        super().__init__()
+        self.config = config or SageConfig()
+        cfg = self.config
+        if cfg.shared_space and user_dim != item_dim:
+            raise ValueError(
+                "shared_space requires equal user/item feature dimensions "
+                f"(got {user_dim} and {item_dim})"
+            )
+        rng = ensure_rng(rng)
+        self.user_dim = user_dim
+        self.item_dim = item_dim
+        d = cfg.embedding_dim
+        self.activation = Activation(cfg.activation)
+
+        # Per-step dimensions: step 1 consumes raw features, later steps
+        # consume d-dimensional embeddings from the previous step.
+        user_dims = [user_dim] + [d] * cfg.num_steps
+        item_dims = [item_dim] + [d] * cfg.num_steps
+
+        self.user_transform: list[Linear] = []  # M_i^u per step (item -> user)
+        self.item_transform: list[Linear] = []  # M_u^i per step (user -> item)
+        self.user_weight: list[Linear] = []  # W_u^p
+        self.item_weight: list[Linear] = []  # W_i^p
+        for p in range(1, cfg.num_steps + 1):
+            m_iu = Linear(item_dims[p - 1], d, bias=False, rng=rng)
+            w_u = Linear(user_dims[p - 1] + d, d, rng=rng)
+            if cfg.shared_space:
+                m_ui, w_i = m_iu, w_u  # Eqs. 8-11: shared M^p and W^p
+            else:
+                m_ui = Linear(user_dims[p - 1], d, bias=False, rng=rng)
+                w_i = Linear(item_dims[p - 1] + d, d, rng=rng)
+            self.user_transform.append(m_iu)
+            self.item_transform.append(m_ui)
+            self.user_weight.append(w_u)
+            self.item_weight.append(w_i)
+        self._sample_rng = derive_rng(rng, 7)
+
+    # ------------------------------------------------------------------
+    # Embedding computation
+    # ------------------------------------------------------------------
+    def embed_users(self, graph: BipartiteGraph, user_ids: np.ndarray) -> Tensor:
+        """Final user embeddings z_u for ``user_ids`` (builds autograd graph)."""
+        return self._embed(graph, np.asarray(user_ids), self.config.num_steps, "user")
+
+    def embed_items(self, graph: BipartiteGraph, item_ids: np.ndarray) -> Tensor:
+        """Final item embeddings z_i for ``item_ids`` (builds autograd graph)."""
+        return self._embed(graph, np.asarray(item_ids), self.config.num_steps, "item")
+
+    def embed_all(
+        self, graph: BipartiteGraph, batch_size: int = 2048
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Inference-mode embeddings (Z_u, Z_i) for every vertex."""
+        self.eval()
+        with no_grad():
+            users = np.concatenate(
+                [
+                    self.embed_users(graph, np.arange(s, min(s + batch_size, graph.num_users))).data
+                    for s in range(0, graph.num_users, batch_size)
+                ]
+            )
+            items = np.concatenate(
+                [
+                    self.embed_items(graph, np.arange(s, min(s + batch_size, graph.num_items))).data
+                    for s in range(0, graph.num_items, batch_size)
+                ]
+            )
+        self.train()
+        return users, items
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _features(self, graph: BipartiteGraph, side: str) -> np.ndarray:
+        feats = graph.user_features if side == "user" else graph.item_features
+        if feats is None:
+            raise ValueError(f"graph is missing {side} features")
+        expected = self.user_dim if side == "user" else self.item_dim
+        if feats.shape[1] != expected:
+            raise ValueError(
+                f"{side} features have dim {feats.shape[1]}, module expects {expected}"
+            )
+        return feats
+
+    def _embed(
+        self, graph: BipartiteGraph, ids: np.ndarray, step: int, side: str
+    ) -> Tensor:
+        """h^step for ``ids`` on ``side``; -1 ids produce zero rows."""
+        cfg = self.config
+        mask = ids >= 0
+        safe = np.where(mask, ids, 0)
+
+        if step == 0:
+            base = self._features(graph, side)[safe].copy()
+            base[~mask] = 0.0
+            return Tensor(base)
+
+        # Own embedding at the previous step (the CONCAT left operand).
+        own_prev = self._embed(graph, ids, step - 1, side)
+
+        # Sampled neighbour embeddings at the previous step.
+        fanout = cfg.neighbor_samples[cfg.num_steps - step]
+        sampler = NeighborSampler(graph, rng=self._sample_rng)
+        if side == "user":
+            neigh = sampler.sample_items_for_users(safe, fanout)
+        else:
+            neigh = sampler.sample_users_for_items(safe, fanout)
+        neigh[~mask] = -1
+        other = "item" if side == "user" else "user"
+        flat = self._embed(graph, neigh.reshape(-1), step - 1, other)
+        d_prev = flat.shape[1]
+        stacked = flat.reshape(len(ids), fanout, d_prev)
+        aggregated = self._aggregate(stacked, neigh >= 0)
+
+        transform = (
+            self.user_transform[step - 1] if side == "user" else self.item_transform[step - 1]
+        )
+        weight = self.user_weight[step - 1] if side == "user" else self.item_weight[step - 1]
+        transformed = transform(aggregated)  # Eq. 1 / Eq. 2
+        combined = concat([own_prev, transformed], axis=-1)
+        out = self.activation(weight(combined))  # Eq. 3 / Eq. 4
+        if not mask.all():
+            out = out * mask[:, None].astype(float)
+        return out
+
+    def _aggregate(self, stacked: Tensor, valid: np.ndarray) -> Tensor:
+        """AGGREGATE over the fan-out axis with a validity mask.
+
+        ``stacked`` is (n, K, d); ``valid`` marks real neighbours (False
+        entries are padding for isolated vertices).
+        """
+        agg = self.config.aggregator
+        maskf = valid.astype(float)[:, :, None]
+        if agg in ("mean", "weighted_mean"):
+            # weighted_mean differs only in how neighbours are *sampled*
+            # (importance sampling by edge weight happens upstream).
+            counts = np.maximum(valid.sum(axis=1, keepdims=True), 1).astype(float)
+            summed = (stacked * maskf).sum(axis=1)
+            return summed * (1.0 / counts)
+        if agg == "sum":
+            return (stacked * maskf).sum(axis=1)
+        if agg == "max":
+            neg_inf = Tensor(np.full(stacked.shape, -1e30))
+            masked = where(valid[:, :, None], stacked, neg_inf)
+            out = masked.max(axis=1)
+            any_valid = valid.any(axis=1)[:, None].astype(float)
+            return out * any_valid
+        raise ValueError(f"unknown aggregator {agg!r}")

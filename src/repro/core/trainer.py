@@ -1,0 +1,116 @@
+"""Unsupervised training loop for bipartite GraphSAGE (Section III-B).
+
+One epoch visits every edge once in shuffled mini-batches.  For each
+batch the trainer embeds the positive users/items, draws Q_u negative
+users and Q_i negative items from P_n, and minimises J_BG with the
+optimiser named in :class:`repro.utils.config.TrainConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.loss import EdgeSimilarityHead, bipartite_graph_loss
+from repro.core.sage import BipartiteGraphSAGE
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.sampling import NegativeSampler, sample_edge_batches
+from repro.nn.losses import l2_penalty
+from repro.nn.optim import build_optimizer, clip_grad_norm
+from repro.utils.config import SageConfig, TrainConfig
+from repro.utils.logging import get_logger
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["SageTrainer", "SageTrainResult"]
+
+logger = get_logger("core.trainer")
+
+
+@dataclass
+class SageTrainResult:
+    """Training diagnostics: per-epoch mean batch losses."""
+
+    epoch_losses: list[float] = field(default_factory=list)
+
+    @property
+    def final_loss(self) -> float:
+        return self.epoch_losses[-1] if self.epoch_losses else float("nan")
+
+
+class SageTrainer:
+    """Fits one :class:`BipartiteGraphSAGE` module on one graph."""
+
+    def __init__(
+        self,
+        module: BipartiteGraphSAGE,
+        graph: BipartiteGraph,
+        train_config: TrainConfig | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.module = module
+        self.graph = graph
+        self.train_config = train_config or TrainConfig()
+        self.rng = ensure_rng(rng)
+        cfg: SageConfig = module.config
+        self.head = EdgeSimilarityHead(
+            cfg.embedding_dim, mode=cfg.similarity_head, rng=derive_rng(self.rng, 1)
+        )
+        self.negative_sampler = NegativeSampler(
+            graph, distribution=cfg.negative_distribution, rng=derive_rng(self.rng, 2)
+        )
+        params = self.module.parameters() + self.head.parameters()
+        self.optimizer = build_optimizer(
+            self.train_config.optimizer, params, self.train_config.learning_rate
+        )
+
+    def fit(self) -> SageTrainResult:
+        """Run the configured number of epochs; returns loss history."""
+        result = SageTrainResult()
+        tcfg = self.train_config
+        for epoch in range(tcfg.epochs):
+            losses = []
+            batches = sample_edge_batches(
+                self.graph, tcfg.batch_size, rng=derive_rng(self.rng, 10 + epoch)
+            )
+            for step, (users, items, weights) in enumerate(batches):
+                losses.append(self._step(users, items, weights))
+                if tcfg.log_every and (step + 1) % tcfg.log_every == 0:
+                    logger.info(
+                        "epoch %d step %d loss %.4f", epoch, step + 1, losses[-1]
+                    )
+            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            result.epoch_losses.append(mean_loss)
+            logger.info("epoch %d mean loss %.4f", epoch, mean_loss)
+        return result
+
+    def _step(self, users: np.ndarray, items: np.ndarray, weights: np.ndarray) -> float:
+        cfg = self.module.config
+        batch = len(users)
+        z_users = self.module.embed_users(self.graph, users)
+        z_items = self.module.embed_items(self.graph, items)
+
+        neg_users = self.negative_sampler.sample_users(batch * cfg.negative_samples_user)
+        neg_items = self.negative_sampler.sample_items(batch * cfg.negative_samples_item)
+        z_neg_users = self.module.embed_users(self.graph, neg_users)
+        z_neg_items = self.module.embed_items(self.graph, neg_items)
+
+        loss = bipartite_graph_loss(
+            self.head,
+            z_users,
+            z_items,
+            weights,
+            z_neg_users,
+            z_neg_items,
+            gamma=cfg.negative_weight,
+            q_user_weight=float(cfg.negative_samples_user),
+            q_item_weight=float(cfg.negative_samples_item),
+        )
+        if cfg.l2 > 0:
+            loss = loss + l2_penalty(self.module.parameters(), cfg.l2)
+        self.optimizer.zero_grad()
+        loss.backward()
+        if self.train_config.gradient_clip:
+            clip_grad_norm(self.optimizer.params, self.train_config.gradient_clip)
+        self.optimizer.step()
+        return loss.item()

@@ -1,0 +1,49 @@
+"""Datasets: schema, synthetic Taobao-like generators, splits, sampling."""
+
+from repro.data.schema import (
+    EcommerceDataset,
+    InteractionLog,
+    LabeledSamples,
+    dataset_statistics,
+)
+from repro.data.topics import TopicTree
+from repro.data.synthetic import GroundTruth, TaobaoGenerator, WorldConfig
+from repro.data.synthetic_text import (
+    QueryItemDataset,
+    QueryItemGenerator,
+    QueryWorldConfig,
+)
+from repro.data.sampling import class_ratio, replicate_to_ratio, subsample_negatives
+from repro.data.splits import stratified_split, train_validation_split
+from repro.data.datasets import load_dataset, load_query_dataset
+from repro.data.io import (
+    load_dataset_file,
+    load_embeddings,
+    save_dataset,
+    save_embeddings,
+)
+
+__all__ = [
+    "EcommerceDataset",
+    "InteractionLog",
+    "LabeledSamples",
+    "dataset_statistics",
+    "TopicTree",
+    "GroundTruth",
+    "TaobaoGenerator",
+    "WorldConfig",
+    "QueryItemDataset",
+    "QueryItemGenerator",
+    "QueryWorldConfig",
+    "class_ratio",
+    "replicate_to_ratio",
+    "subsample_negatives",
+    "stratified_split",
+    "train_validation_split",
+    "load_dataset",
+    "load_query_dataset",
+    "load_dataset_file",
+    "load_embeddings",
+    "save_dataset",
+    "save_embeddings",
+]

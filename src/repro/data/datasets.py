@@ -1,0 +1,97 @@
+"""Named dataset presets mirroring the paper's three Taobao datasets.
+
+Each preset is a deterministic (seeded) scaled-down analogue:
+
+* ``mini-taobao1`` — dense click/transaction graph (Table I row 1).
+* ``mini-taobao2`` — cold-start new-arrival slice (Table I row 2).
+* ``mini-taobao3`` — query–item click graph for taxonomy (Table V).
+
+``size`` picks a scale: ``tiny`` for tests, ``small`` for benches,
+``default`` for examples.
+"""
+
+from __future__ import annotations
+
+from repro.data.synthetic import TaobaoGenerator, WorldConfig
+from repro.data.synthetic_text import QueryItemGenerator, QueryWorldConfig
+from repro.data.schema import EcommerceDataset
+from repro.data.synthetic_text import QueryItemDataset
+
+__all__ = ["load_dataset", "load_query_dataset", "PREDICTION_SIZES", "TAXONOMY_SIZES"]
+
+PREDICTION_SIZES: dict[str, WorldConfig] = {
+    "tiny": WorldConfig(
+        num_users=120,
+        num_items=90,
+        branching=(3, 2),
+        interactions_per_user=20.0,
+        feature_dim=8,
+    ),
+    "small": WorldConfig(
+        num_users=700,
+        num_items=900,
+        branching=(4, 3),
+        interactions_per_user=25.0,
+        feature_noise=1.0,
+    ),
+    "default": WorldConfig(
+        num_users=1400,
+        num_items=1800,
+        branching=(4, 3, 3),
+        interactions_per_user=30.0,
+        feature_noise=1.0,
+    ),
+}
+
+TAXONOMY_SIZES: dict[str, QueryWorldConfig] = {
+    "tiny": QueryWorldConfig(
+        num_queries=80,
+        num_items=120,
+        branching=(3, 2),
+        clicks_per_query=8.0,
+    ),
+    "small": QueryWorldConfig(
+        num_queries=300,
+        num_items=450,
+        branching=(4, 3),
+        clicks_per_query=10.0,
+    ),
+    "default": QueryWorldConfig(
+        num_queries=600,
+        num_items=900,
+        branching=(4, 3, 3),
+        clicks_per_query=12.0,
+    ),
+}
+
+
+def load_dataset(
+    name: str, size: str = "small", seed: int = 0
+) -> EcommerceDataset:
+    """Build one of the prediction datasets.
+
+    ``mini-taobao1`` and ``mini-taobao2`` built with the same seed share
+    one latent world, as in the paper where #2 is a slice of the same
+    platform's traffic.
+    """
+    if size not in PREDICTION_SIZES:
+        raise ValueError(f"unknown size {size!r}; choose from {sorted(PREDICTION_SIZES)}")
+    generator = TaobaoGenerator(PREDICTION_SIZES[size], seed=seed)
+    if name == "mini-taobao1":
+        return generator.build_dataset(name)
+    if name == "mini-taobao2":
+        return generator.build_cold_start_dataset(name)
+    raise ValueError(
+        f"unknown dataset {name!r}; choose 'mini-taobao1' or 'mini-taobao2'"
+    )
+
+
+def load_query_dataset(
+    name: str = "mini-taobao3", size: str = "small", seed: int = 0
+) -> QueryItemDataset:
+    """Build the taxonomy (query–item) dataset."""
+    if name != "mini-taobao3":
+        raise ValueError(f"unknown query dataset {name!r}; only 'mini-taobao3'")
+    if size not in TAXONOMY_SIZES:
+        raise ValueError(f"unknown size {size!r}; choose from {sorted(TAXONOMY_SIZES)}")
+    return QueryItemGenerator(TAXONOMY_SIZES[size], seed=seed).build_dataset(name)

@@ -1,0 +1,117 @@
+"""Persisting datasets and hierarchies to ``.npz`` archives.
+
+Synthetic worlds are cheap to regenerate, but freezing one to disk makes
+experiments exactly shareable (no dependence on generator code drift)
+and lets external bipartite data enter the same pipelines: any
+(edges, weights, features, samples) bundle round-trips through
+:func:`save_dataset` / :func:`load_dataset_file`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+
+from repro.data.schema import EcommerceDataset, InteractionLog, LabeledSamples
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["save_dataset", "load_dataset_file", "save_embeddings", "load_embeddings"]
+
+
+def save_dataset(dataset: EcommerceDataset, path: str | os.PathLike) -> None:
+    """Write a dataset (graph + samples + side tables) to one ``.npz``.
+
+    The ground-truth oracle is generator state and is *not* persisted —
+    a loaded dataset behaves like real-world data with no oracle.
+    """
+    graph = dataset.graph
+    arrays: dict[str, np.ndarray] = {
+        "edges": graph.edges,
+        "edge_weights": graph.edge_weights,
+        "shape": np.array([graph.num_users, graph.num_items]),
+        "train_users": dataset.train.users,
+        "train_items": dataset.train.items,
+        "train_labels": dataset.train.labels,
+        "test_users": dataset.test.users,
+        "test_items": dataset.test.items,
+        "test_labels": dataset.test.labels,
+        "user_profiles": dataset.user_profiles,
+        "item_stats": dataset.item_stats,
+        "log_users": dataset.log.users,
+        "log_items": dataset.log.items,
+        "log_days": dataset.log.days,
+        "log_clicks": dataset.log.clicks,
+        "log_purchases": dataset.log.purchases,
+    }
+    if graph.user_features is not None:
+        arrays["user_features"] = graph.user_features
+    if graph.item_features is not None:
+        arrays["item_features"] = graph.item_features
+    meta = {"name": dataset.name, "metadata": dataset.metadata}
+    arrays["meta_json"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez_compressed(path, **arrays)
+
+
+def load_dataset_file(path: str | os.PathLike) -> EcommerceDataset:
+    """Restore a dataset written by :func:`save_dataset`."""
+    with np.load(path) as archive:
+        num_users, num_items = archive["shape"]
+        graph = BipartiteGraph(
+            int(num_users),
+            int(num_items),
+            archive["edges"],
+            archive["edge_weights"],
+            user_features=archive["user_features"] if "user_features" in archive else None,
+            item_features=archive["item_features"] if "item_features" in archive else None,
+        )
+        meta = json.loads(bytes(archive["meta_json"]).decode("utf-8"))
+        return EcommerceDataset(
+            name=meta["name"],
+            graph=graph,
+            train=LabeledSamples(
+                archive["train_users"], archive["train_items"], archive["train_labels"]
+            ),
+            test=LabeledSamples(
+                archive["test_users"], archive["test_items"], archive["test_labels"]
+            ),
+            user_profiles=archive["user_profiles"],
+            item_stats=archive["item_stats"],
+            log=InteractionLog(
+                users=archive["log_users"],
+                items=archive["log_items"],
+                days=archive["log_days"],
+                clicks=archive["log_clicks"],
+                purchases=archive["log_purchases"],
+            ),
+            ground_truth=None,
+            metadata=meta["metadata"],
+        )
+
+
+def save_embeddings(
+    path: str | os.PathLike,
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+    level_dims: list[int] | None = None,
+) -> None:
+    """Persist hierarchical embedding matrices (z^H) for serving."""
+    arrays = {
+        "user_embeddings": np.asarray(user_embeddings),
+        "item_embeddings": np.asarray(item_embeddings),
+    }
+    if level_dims is not None:
+        arrays["level_dims"] = np.asarray(level_dims, dtype=np.int64)
+    np.savez_compressed(path, **arrays)
+
+
+def load_embeddings(
+    path: str | os.PathLike,
+) -> tuple[np.ndarray, np.ndarray, list[int] | None]:
+    """Load matrices written by :func:`save_embeddings`."""
+    with np.load(path) as archive:
+        dims = archive["level_dims"].tolist() if "level_dims" in archive else None
+        return archive["user_embeddings"], archive["item_embeddings"], dims

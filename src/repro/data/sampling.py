@@ -1,0 +1,85 @@
+"""Sample re-balancing strategies.
+
+The paper (Section IV-B-1) replicates positive samples in Taobao #1 so
+the positive:negative ratio becomes 1:3, while Taobao #2 keeps the raw
+cold-start imbalance.  ``replicate_to_ratio`` implements that strategy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import LabeledSamples
+from repro.utils.rng import ensure_rng
+
+__all__ = ["replicate_to_ratio", "subsample_negatives", "class_ratio"]
+
+
+def class_ratio(samples: LabeledSamples) -> float:
+    """negatives per positive; ``inf`` when there are no positives."""
+    pos = samples.num_positive
+    if pos == 0:
+        return float("inf")
+    return samples.num_negative / pos
+
+
+def replicate_to_ratio(
+    samples: LabeledSamples,
+    negatives_per_positive: float = 3.0,
+    rng: int | np.random.Generator | None = None,
+) -> LabeledSamples:
+    """Replicate positives until ratio <= ``negatives_per_positive``.
+
+    Positives are replicated whole-copy plus a random remainder so the
+    realised ratio matches the target as closely as integer counts
+    allow.  If the data is already at or below the target ratio it is
+    returned unchanged.
+    """
+    if negatives_per_positive <= 0:
+        raise ValueError("negatives_per_positive must be positive")
+    rng = ensure_rng(rng)
+    n_pos = samples.num_positive
+    n_neg = samples.num_negative
+    if n_pos == 0 or n_neg / n_pos <= negatives_per_positive:
+        return samples
+    target_pos = int(round(n_neg / negatives_per_positive))
+    pos_idx = np.flatnonzero(samples.labels == 1)
+    full_copies, remainder = divmod(target_pos, n_pos)
+    replicated = [pos_idx] * full_copies
+    if remainder:
+        replicated.append(rng.choice(pos_idx, size=remainder, replace=False))
+    neg_idx = np.flatnonzero(samples.labels == 0)
+    all_idx = np.concatenate(replicated + [neg_idx])
+    rng.shuffle(all_idx)
+    return LabeledSamples(
+        users=samples.users[all_idx],
+        items=samples.items[all_idx],
+        labels=samples.labels[all_idx],
+    )
+
+
+def subsample_negatives(
+    samples: LabeledSamples,
+    negatives_per_positive: float = 3.0,
+    rng: int | np.random.Generator | None = None,
+) -> LabeledSamples:
+    """Alternative re-balancer: drop negatives down to the target ratio."""
+    if negatives_per_positive <= 0:
+        raise ValueError("negatives_per_positive must be positive")
+    rng = ensure_rng(rng)
+    n_pos = samples.num_positive
+    if n_pos == 0:
+        return samples
+    neg_idx = np.flatnonzero(samples.labels == 0)
+    target_neg = int(round(n_pos * negatives_per_positive))
+    if len(neg_idx) <= target_neg:
+        return samples
+    kept_neg = rng.choice(neg_idx, size=target_neg, replace=False)
+    pos_idx = np.flatnonzero(samples.labels == 1)
+    all_idx = np.concatenate([pos_idx, kept_neg])
+    rng.shuffle(all_idx)
+    return LabeledSamples(
+        users=samples.users[all_idx],
+        items=samples.items[all_idx],
+        labels=samples.labels[all_idx],
+    )

@@ -1,0 +1,58 @@
+"""Train/validation splitting helpers for labelled sample sets."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.schema import LabeledSamples
+from repro.utils.rng import ensure_rng
+
+__all__ = ["train_validation_split", "stratified_split"]
+
+
+def train_validation_split(
+    samples: LabeledSamples,
+    validation_fraction: float = 0.1,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[LabeledSamples, LabeledSamples]:
+    """Random split; validation gets ``validation_fraction`` of rows."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    n = len(samples)
+    order = rng.permutation(n)
+    n_val = max(1, int(round(validation_fraction * n)))
+    val_idx, train_idx = order[:n_val], order[n_val:]
+    return _take(samples, train_idx), _take(samples, val_idx)
+
+
+def stratified_split(
+    samples: LabeledSamples,
+    validation_fraction: float = 0.1,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[LabeledSamples, LabeledSamples]:
+    """Split preserving the positive/negative ratio in both parts."""
+    if not 0.0 < validation_fraction < 1.0:
+        raise ValueError("validation_fraction must be in (0, 1)")
+    rng = ensure_rng(rng)
+    val_parts = []
+    train_parts = []
+    for label in (0, 1):
+        idx = np.flatnonzero(samples.labels == label)
+        rng.shuffle(idx)
+        n_val = int(round(validation_fraction * len(idx)))
+        val_parts.append(idx[:n_val])
+        train_parts.append(idx[n_val:])
+    train_idx = np.concatenate(train_parts)
+    val_idx = np.concatenate(val_parts)
+    rng.shuffle(train_idx)
+    rng.shuffle(val_idx)
+    return _take(samples, train_idx), _take(samples, val_idx)
+
+
+def _take(samples: LabeledSamples, idx: np.ndarray) -> LabeledSamples:
+    return LabeledSamples(
+        users=samples.users[idx],
+        items=samples.items[idx],
+        labels=samples.labels[idx],
+    )

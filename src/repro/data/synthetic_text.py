@@ -1,0 +1,224 @@
+"""Synthetic query–item corpus for the taxonomy experiments (Section V).
+
+The paper's Taobao #3 dataset is a query–item click graph with textual
+queries and item titles.  We generate both from the same ground-truth
+:class:`~repro.data.topics.TopicTree` used for the prediction datasets:
+an item title mixes words of its leaf topic and ancestors; a query is a
+shorter bag of words from a (possibly internal) topic; a click edge
+connects a query to an item when their topics are close in the tree,
+with click counts as edge weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.topics import TopicTree
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["QueryWorldConfig", "QueryItemDataset", "QueryItemGenerator"]
+
+
+@dataclass
+class QueryWorldConfig:
+    """Knobs of the synthetic query–item world (Taobao #3 analogue)."""
+
+    num_queries: int = 600
+    num_items: int = 900
+    branching: tuple[int, ...] = (4, 3, 3)
+    topic_dim: int = 16
+    title_length: int = 8
+    query_length: int = 3
+    clicks_per_query: float = 12.0
+    topic_match_decay: float = 0.25  # click propensity per tree-distance step
+    internal_query_fraction: float = 0.3  # queries about non-leaf topics
+    # Textual noise — real titles share brand/filler words and borrow
+    # terms across categories, so pure bag-of-words clustering must not
+    # trivially solve the task (the click graph has to contribute).
+    num_generic_words: int = 40
+    generic_word_fraction: float = 0.45
+    cross_topic_word_fraction: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.num_queries < 2 or self.num_items < 2:
+            raise ValueError("world needs at least 2 queries and 2 items")
+        if not 0.0 < self.topic_match_decay < 1.0:
+            raise ValueError("topic_match_decay must be in (0, 1)")
+
+
+@dataclass
+class QueryItemDataset:
+    """Bundle of the query–item graph, texts, and the ground-truth oracle."""
+
+    name: str
+    graph: BipartiteGraph  # "users" are queries
+    query_texts: list[list[str]]
+    item_titles: list[list[str]]
+    tree: TopicTree
+    query_topic: np.ndarray  # ground-truth topic node per query
+    item_leaf: np.ndarray  # ground-truth leaf topic node per item
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_queries(self) -> int:
+        return self.graph.num_users
+
+    @property
+    def num_items(self) -> int:
+        return self.graph.num_items
+
+    def item_label_at_depth(self, depth: int) -> np.ndarray:
+        """Ground-truth topic of each item at the given tree depth."""
+        return np.array(
+            [self.tree.ancestor_at_depth(int(leaf), depth) for leaf in self.item_leaf]
+        )
+
+
+class QueryItemGenerator:
+    """Generate :class:`QueryItemDataset` objects."""
+
+    def __init__(
+        self,
+        config: QueryWorldConfig | None = None,
+        seed: int | np.random.Generator | None = 0,
+        tree: TopicTree | None = None,
+    ) -> None:
+        self.config = config or QueryWorldConfig()
+        self.rng = ensure_rng(seed)
+        self.tree = tree or TopicTree.generate(
+            branching=self.config.branching,
+            embedding_dim=self.config.topic_dim,
+            rng=derive_rng(self.rng, 1),
+        )
+
+    def build_dataset(self, name: str = "mini-taobao3") -> QueryItemDataset:
+        cfg = self.config
+        tree = self.tree
+        rng = derive_rng(self.rng, 2)
+        n_leaves = tree.n_leaves
+
+        generic_pool = [f"generic_{j}" for j in range(cfg.num_generic_words)]
+        all_topics = np.flatnonzero(tree.depth > 0)
+
+        # Items: leaf topic + title text.
+        item_leaf_index = rng.integers(0, n_leaves, size=cfg.num_items)
+        item_leaf = tree.leaves[item_leaf_index]
+        item_titles = [
+            self._sample_text(tree, int(leaf), cfg.title_length, rng, generic_pool, all_topics)
+            for leaf in item_leaf
+        ]
+
+        # Queries: mostly leaf topics, some broader (internal) intents.
+        query_topic = np.empty(cfg.num_queries, dtype=np.int64)
+        internal_nodes = np.flatnonzero(
+            (tree.depth > 0) & (tree.depth < tree.max_depth)
+        )
+        for q in range(cfg.num_queries):
+            if internal_nodes.size and rng.random() < cfg.internal_query_fraction:
+                query_topic[q] = int(rng.choice(internal_nodes))
+            else:
+                query_topic[q] = int(tree.leaves[rng.integers(n_leaves)])
+        query_texts = [
+            self._sample_text(tree, int(t), cfg.query_length, rng, generic_pool, all_topics)
+            for t in query_topic
+        ]
+
+        edges, weights = self._simulate_clicks(
+            tree, query_topic, item_leaf, item_leaf_index, rng
+        )
+        graph = BipartiteGraph(cfg.num_queries, cfg.num_items, edges, weights)
+        return QueryItemDataset(
+            name=name,
+            graph=graph,
+            query_texts=query_texts,
+            item_titles=item_titles,
+            tree=tree,
+            query_topic=query_topic,
+            item_leaf=item_leaf,
+        )
+
+    # ------------------------------------------------------------------
+    def _sample_text(
+        self,
+        tree: TopicTree,
+        topic: int,
+        length: int,
+        rng: np.random.Generator,
+        generic_pool: list[str],
+        all_topics: np.ndarray,
+    ) -> list[str]:
+        """Bag of words mixing topic, ancestor, generic and noise terms."""
+        cfg = self.config
+        own = tree.vocab[topic]
+        ancestor_words = []
+        for anc in tree.ancestors(topic):
+            if anc != 0:
+                ancestor_words.extend(tree.vocab[anc])
+        words = []
+        for _ in range(length):
+            roll = rng.random()
+            if generic_pool and roll < cfg.generic_word_fraction:
+                words.append(str(rng.choice(generic_pool)))
+            elif roll < cfg.generic_word_fraction + cfg.cross_topic_word_fraction:
+                foreign = int(rng.choice(all_topics))
+                words.append(str(rng.choice(tree.vocab[foreign])))
+            elif ancestor_words and roll > 1.0 - 0.2:
+                words.append(str(rng.choice(ancestor_words)))
+            else:
+                words.append(str(rng.choice(own)))
+        return words
+
+    def _simulate_clicks(
+        self,
+        tree: TopicTree,
+        query_topic: np.ndarray,
+        item_leaf: np.ndarray,
+        item_leaf_index: np.ndarray,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cfg = self.config
+        n_leaves = tree.n_leaves
+        leaf_dist = tree.leaf_distance_matrix()
+
+        edges: list[tuple[int, int]] = []
+        weights: list[float] = []
+        items_by_leaf = [
+            np.flatnonzero(item_leaf_index == leaf_idx) for leaf_idx in range(n_leaves)
+        ]
+        leaf_pos = {int(l): i for i, l in enumerate(tree.leaves)}
+        for q, topic in enumerate(query_topic):
+            topic = int(topic)
+            # Click propensity over leaves, decaying with distance from
+            # the query topic (its own subtree scores distance 0).
+            if tree.depth[topic] == tree.max_depth:
+                base = leaf_dist[leaf_pos[topic]]
+            else:
+                base = np.array(
+                    [
+                        0
+                        if tree.ancestor_at_depth(int(l), tree.depth[topic]) == topic
+                        else tree.max_depth - tree.depth[
+                            tree.lowest_common_ancestor(int(l), topic)
+                        ]
+                        for l in tree.leaves
+                    ]
+                )
+            probs = cfg.topic_match_decay ** base.astype(float)
+            probs /= probs.sum()
+            n_clicks = max(1, int(rng.poisson(cfg.clicks_per_query)))
+            leaves = rng.choice(n_leaves, size=n_clicks, p=probs)
+            for leaf_idx in leaves:
+                pool = items_by_leaf[leaf_idx]
+                if len(pool) == 0:
+                    continue
+                item = int(rng.choice(pool))
+                edges.append((q, item))
+                weights.append(float(1 + rng.geometric(0.5) - 1))
+        if not edges:
+            edges.append((0, 0))
+            weights.append(1.0)
+        weights_arr = np.maximum(np.asarray(weights), 1.0)
+        return np.asarray(edges, dtype=np.int64), weights_arr

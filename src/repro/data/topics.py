@@ -1,0 +1,214 @@
+"""Ground-truth topic hierarchies for the synthetic e-commerce world.
+
+The paper motivates HiGNN with a "topic-driven taxonomy" (Fig. 1): items
+live under leaf topics, leaf topics roll up into broader shopping
+scenarios.  The closed Taobao traces are replaced by a generative world
+whose latent structure *is* such a tree — giving every experiment an
+oracle to score against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.utils.rng import ensure_rng
+
+__all__ = ["TopicTree"]
+
+# Syllable pool used to synthesise pronounceable topic/word names so the
+# taxonomy case study (Fig. 5 reproduction) prints readable labels.
+_SYLLABLES = [
+    "ka", "lo", "mi", "ren", "su", "ta", "vel", "zor", "an", "bri",
+    "cal", "dun", "eli", "far", "gos", "hul", "ist", "jen", "kor", "lum",
+]
+
+
+@dataclass
+class TopicTree:
+    """A rooted tree of topics with embeddings and vocabularies.
+
+    Nodes are numbered in breadth-first order with the root at index 0.
+    ``branching`` gives the fan-out at each depth, e.g. ``(4, 3, 2)``
+    creates 4 depth-1 topics, 12 depth-2 topics and 24 leaf topics.
+
+    Attributes
+    ----------
+    parent:
+        ``parent[v]`` is the parent node id (-1 for the root).
+    depth:
+        ``depth[v]`` in ``[0, len(branching)]``.
+    embeddings:
+        ``(n_nodes, dim)`` hierarchical-diffusion embeddings — each child
+        is its parent plus shrinking Gaussian noise, so tree proximity is
+        geometric proximity.
+    vocab:
+        ``vocab[v]`` is the list of words associated with topic ``v``.
+    names:
+        A readable synthetic name per node.
+    """
+
+    branching: tuple[int, ...]
+    parent: np.ndarray
+    depth: np.ndarray
+    children: list[list[int]]
+    embeddings: np.ndarray
+    vocab: list[list[str]]
+    names: list[str]
+    _leaf_ids: np.ndarray = field(repr=False, default=None)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def generate(
+        cls,
+        branching: tuple[int, ...] = (4, 3, 3),
+        embedding_dim: int = 16,
+        words_per_topic: int = 6,
+        diffusion_scale: float = 2.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> "TopicTree":
+        """Sample a random topic tree.
+
+        ``diffusion_scale`` controls how far level-1 topics sit from the
+        root; each deeper level uses half the previous scale so sibling
+        leaves stay closer together than cousin leaves.
+        """
+        if not branching or any(b < 1 for b in branching):
+            raise ValueError("branching must be a non-empty tuple of positives")
+        rng = ensure_rng(rng)
+
+        parent_list = [-1]
+        depth_list = [0]
+        frontier = [0]
+        for level, fanout in enumerate(branching, start=1):
+            next_frontier = []
+            for node in frontier:
+                for _ in range(fanout):
+                    child = len(parent_list)
+                    parent_list.append(node)
+                    depth_list.append(level)
+                    next_frontier.append(child)
+            frontier = next_frontier
+        parent = np.asarray(parent_list, dtype=np.int64)
+        depth = np.asarray(depth_list, dtype=np.int64)
+        n_nodes = len(parent)
+
+        children: list[list[int]] = [[] for _ in range(n_nodes)]
+        for v in range(1, n_nodes):
+            children[parent[v]].append(v)
+
+        embeddings = np.zeros((n_nodes, embedding_dim))
+        for v in range(1, n_nodes):
+            scale = diffusion_scale / (2.0 ** (depth[v] - 1))
+            embeddings[v] = embeddings[parent[v]] + rng.normal(
+                scale=scale, size=embedding_dim
+            )
+
+        vocab: list[list[str]] = []
+        names: list[str] = []
+        used_names: set[str] = set()
+        for v in range(n_nodes):
+            name = cls._make_name(rng, used_names)
+            names.append(name)
+            vocab.append([f"{name}_{j}" for j in range(words_per_topic)])
+
+        tree = cls(
+            branching=tuple(branching),
+            parent=parent,
+            depth=depth,
+            children=children,
+            embeddings=embeddings,
+            vocab=vocab,
+            names=names,
+        )
+        tree._leaf_ids = np.flatnonzero(depth == len(branching))
+        return tree
+
+    @staticmethod
+    def _make_name(rng: np.random.Generator, used: set[str]) -> str:
+        while True:
+            parts = rng.choice(_SYLLABLES, size=rng.integers(2, 4), replace=True)
+            name = "".join(parts)
+            if name not in used:
+                used.add(name)
+                return name
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        return len(self.parent)
+
+    @property
+    def max_depth(self) -> int:
+        return len(self.branching)
+
+    @property
+    def leaves(self) -> np.ndarray:
+        """Node ids at maximum depth."""
+        if self._leaf_ids is None:
+            self._leaf_ids = np.flatnonzero(self.depth == self.max_depth)
+        return self._leaf_ids
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.leaves)
+
+    def ancestors(self, node: int) -> list[int]:
+        """Path from ``node`` (exclusive) up to the root (inclusive)."""
+        path = []
+        v = self.parent[node]
+        while v != -1:
+            path.append(int(v))
+            v = self.parent[v]
+        return path
+
+    def ancestor_at_depth(self, node: int, target_depth: int) -> int:
+        """The ancestor of ``node`` at ``target_depth`` (may be itself)."""
+        if target_depth > self.depth[node]:
+            raise ValueError("target depth is below the node")
+        v = int(node)
+        while self.depth[v] > target_depth:
+            v = int(self.parent[v])
+        return v
+
+    def lowest_common_ancestor(self, a: int, b: int) -> int:
+        a, b = int(a), int(b)
+        while self.depth[a] > self.depth[b]:
+            a = int(self.parent[a])
+        while self.depth[b] > self.depth[a]:
+            b = int(self.parent[b])
+        while a != b:
+            a = int(self.parent[a])
+            b = int(self.parent[b])
+        return a
+
+    def leaf_distance(self, leaf_a: int, leaf_b: int) -> int:
+        """max_depth - depth(LCA): 0 for the same leaf, 1 for siblings..."""
+        lca = self.lowest_common_ancestor(leaf_a, leaf_b)
+        return int(self.max_depth - self.depth[lca])
+
+    def leaf_distance_matrix(self) -> np.ndarray:
+        """``(n_leaves, n_leaves)`` matrix of :meth:`leaf_distance`."""
+        leaves = self.leaves
+        n = len(leaves)
+        out = np.zeros((n, n), dtype=np.int64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                d = self.leaf_distance(leaves[i], leaves[j])
+                out[i, j] = d
+                out[j, i] = d
+        return out
+
+    def topic_words(self, node: int, include_ancestors: bool = True) -> list[str]:
+        """Vocabulary of ``node``, optionally mixed with ancestor words."""
+        words = list(self.vocab[node])
+        if include_ancestors:
+            for anc in self.ancestors(node):
+                if anc != 0:  # root words are uninformative filler
+                    words.extend(self.vocab[anc])
+        return words

@@ -1,0 +1,19 @@
+"""Bipartite graph substrate: storage, sampling, coarsening, generators."""
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.coarsen import CoarseningResult, coarsen, compose_assignments
+from repro.graph.sampling import NegativeSampler, NeighborSampler, sample_edge_batches
+from repro.graph.generators import block_bipartite, random_bipartite, star_bipartite
+
+__all__ = [
+    "BipartiteGraph",
+    "CoarseningResult",
+    "coarsen",
+    "compose_assignments",
+    "NeighborSampler",
+    "NegativeSampler",
+    "sample_edge_batches",
+    "random_bipartite",
+    "block_bipartite",
+    "star_bipartite",
+]

@@ -1,0 +1,95 @@
+"""Structural analysis of bipartite graphs.
+
+Descriptive statistics used when validating synthetic worlds against
+the paper's datasets (degree distributions, connectivity) and for
+sanity-checking coarsened graphs between HiGNN levels.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = [
+    "degree_summary",
+    "connected_components",
+    "giant_component_fraction",
+    "weight_gini",
+]
+
+
+def degree_summary(graph: BipartiteGraph) -> dict[str, float]:
+    """Mean/median/max degrees and isolated-vertex counts per side."""
+    du = graph.user_degrees()
+    di = graph.item_degrees()
+    return {
+        "user_mean": float(du.mean()),
+        "user_median": float(np.median(du)),
+        "user_max": int(du.max()),
+        "user_isolated": int((du == 0).sum()),
+        "item_mean": float(di.mean()),
+        "item_median": float(np.median(di)),
+        "item_max": int(di.max()),
+        "item_isolated": int((di == 0).sum()),
+    }
+
+
+def connected_components(graph: BipartiteGraph) -> tuple[np.ndarray, np.ndarray]:
+    """Component ids for users and items (shared id space, BFS).
+
+    Isolated vertices form singleton components.  Returns
+    ``(user_components, item_components)``.
+    """
+    user_comp = np.full(graph.num_users, -1, dtype=np.int64)
+    item_comp = np.full(graph.num_items, -1, dtype=np.int64)
+    next_id = 0
+    for seed_user in range(graph.num_users):
+        if user_comp[seed_user] != -1:
+            continue
+        user_comp[seed_user] = next_id
+        frontier_users = [seed_user]
+        frontier_items: list[int] = []
+        while frontier_users or frontier_items:
+            new_items: list[int] = []
+            for u in frontier_users:
+                for i in graph.item_neighbors(u):
+                    i = int(i)
+                    if item_comp[i] == -1:
+                        item_comp[i] = next_id
+                        new_items.append(i)
+            new_users: list[int] = []
+            for i in frontier_items + new_items:
+                for u in graph.user_neighbors(i):
+                    u = int(u)
+                    if user_comp[u] == -1:
+                        user_comp[u] = next_id
+                        new_users.append(u)
+            frontier_users = new_users
+            frontier_items = []
+        next_id += 1
+    for item in range(graph.num_items):
+        if item_comp[item] == -1:
+            item_comp[item] = next_id
+            next_id += 1
+    return user_comp, item_comp
+
+
+def giant_component_fraction(graph: BipartiteGraph) -> float:
+    """Share of all vertices inside the largest connected component."""
+    user_comp, item_comp = connected_components(graph)
+    all_comp = np.concatenate([user_comp, item_comp])
+    counts = np.bincount(all_comp)
+    return float(counts.max() / len(all_comp))
+
+
+def weight_gini(graph: BipartiteGraph) -> float:
+    """Gini coefficient of edge weights (0 = uniform, ->1 = concentrated)."""
+    weights = np.sort(graph.edge_weights)
+    n = len(weights)
+    if n == 0:
+        raise ValueError("graph has no edges")
+    cum = np.cumsum(weights)
+    if cum[-1] == 0:
+        return 0.0
+    return float((n + 1 - 2 * np.sum(cum) / cum[-1]) / n)

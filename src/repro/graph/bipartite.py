@@ -1,0 +1,247 @@
+"""The bipartite graph data structure (Section III-A).
+
+A user–item (or query–item) graph is the quadruple G = (U, I, E, S):
+two disjoint vertex sets, weighted edges only *between* the sides, and
+a weight function S.  The structure is stored in CSR form twice — once
+from the user side, once from the item side — so neighbour queries are
+O(degree) in both directions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["BipartiteGraph"]
+
+
+@dataclass(frozen=True)
+class _CSR:
+    """One direction of adjacency in compressed sparse row form."""
+
+    indptr: np.ndarray  # (n_rows + 1,)
+    indices: np.ndarray  # (n_edges,) column ids
+    weights: np.ndarray  # (n_edges,)
+
+    def neighbors(self, row: int) -> np.ndarray:
+        return self.indices[self.indptr[row] : self.indptr[row + 1]]
+
+    def neighbor_weights(self, row: int) -> np.ndarray:
+        return self.weights[self.indptr[row] : self.indptr[row + 1]]
+
+    def degree(self, row: int) -> int:
+        return int(self.indptr[row + 1] - self.indptr[row])
+
+
+class BipartiteGraph:
+    """A weighted bipartite graph over ``num_users`` x ``num_items``.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Vertex counts of each side.  For the taxonomy task the "user"
+        side holds queries; the structure is identical.
+    edges:
+        ``(n_edges, 2)`` integer array of (user, item) pairs.  Duplicate
+        pairs are merged with weights summed.
+    weights:
+        Per-edge positive connection strengths ``S(e)``; defaults to 1.
+    user_features, item_features:
+        Optional dense feature matrices ``X_u`` (num_users x d_u) and
+        ``X_i`` (num_items x d_i).
+    """
+
+    def __init__(
+        self,
+        num_users: int,
+        num_items: int,
+        edges: np.ndarray,
+        weights: np.ndarray | None = None,
+        user_features: np.ndarray | None = None,
+        item_features: np.ndarray | None = None,
+    ) -> None:
+        if num_users <= 0 or num_items <= 0:
+            raise ValueError("both vertex sets must be non-empty")
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        if weights is None:
+            weights = np.ones(len(edges), dtype=np.float64)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if weights.shape != (len(edges),):
+                raise ValueError("weights must align one-to-one with edges")
+            if len(weights) and weights.min() <= 0:
+                raise ValueError("edge weights (connection strengths) must be positive")
+        if len(edges):
+            if edges[:, 0].min() < 0 or edges[:, 0].max() >= num_users:
+                raise ValueError("user index out of range")
+            if edges[:, 1].min() < 0 or edges[:, 1].max() >= num_items:
+                raise ValueError("item index out of range")
+
+        self.num_users = int(num_users)
+        self.num_items = int(num_items)
+        self._edges, self._weights = self._merge_duplicates(edges, weights)
+        self._user_csr = self._build_csr(
+            self._edges[:, 0], self._edges[:, 1], self._weights, self.num_users
+        )
+        self._item_csr = self._build_csr(
+            self._edges[:, 1], self._edges[:, 0], self._weights, self.num_items
+        )
+        self.user_features = self._check_features(user_features, num_users, "user")
+        self.item_features = self._check_features(item_features, num_items, "item")
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_duplicates(
+        edges: np.ndarray, weights: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        if not len(edges):
+            return edges, weights
+        unique, inverse = np.unique(edges, axis=0, return_inverse=True)
+        if len(unique) == len(edges):
+            return edges, weights
+        merged = np.zeros(len(unique), dtype=np.float64)
+        np.add.at(merged, inverse, weights)
+        return unique, merged
+
+    @staticmethod
+    def _build_csr(
+        rows: np.ndarray, cols: np.ndarray, weights: np.ndarray, n_rows: int
+    ) -> _CSR:
+        order = np.argsort(rows, kind="stable")
+        sorted_rows = rows[order]
+        indptr = np.zeros(n_rows + 1, dtype=np.int64)
+        counts = np.bincount(sorted_rows, minlength=n_rows)
+        indptr[1:] = np.cumsum(counts)
+        return _CSR(indptr=indptr, indices=cols[order], weights=weights[order])
+
+    @staticmethod
+    def _check_features(
+        features: np.ndarray | None, n: int, side: str
+    ) -> np.ndarray | None:
+        if features is None:
+            return None
+        features = np.asarray(features, dtype=np.float64)
+        if features.ndim != 2 or features.shape[0] != n:
+            raise ValueError(
+                f"{side}_features must have shape ({n}, d), got {features.shape}"
+            )
+        return features
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> np.ndarray:
+        """``(n_edges, 2)`` array of (user, item) pairs (deduplicated)."""
+        return self._edges
+
+    @property
+    def edge_weights(self) -> np.ndarray:
+        return self._weights
+
+    @property
+    def total_weight(self) -> float:
+        """Sum of all connection strengths (conserved by coarsening)."""
+        return float(self._weights.sum())
+
+    @property
+    def density(self) -> float:
+        """|E| / (|U| * |I|), as reported in the paper's Tables I and V."""
+        return self.num_edges / (self.num_users * self.num_items)
+
+    def item_neighbors(self, user: int) -> np.ndarray:
+        """Items adjacent to ``user`` — N(u) of Eq. 1."""
+        return self._user_csr.neighbors(user)
+
+    def user_neighbors(self, item: int) -> np.ndarray:
+        """Users adjacent to ``item`` — N(i) of Eq. 2."""
+        return self._item_csr.neighbors(item)
+
+    def item_neighbor_weights(self, user: int) -> np.ndarray:
+        return self._user_csr.neighbor_weights(user)
+
+    def user_neighbor_weights(self, item: int) -> np.ndarray:
+        return self._item_csr.neighbor_weights(item)
+
+    def user_degree(self, user: int) -> int:
+        return self._user_csr.degree(user)
+
+    def item_degree(self, item: int) -> int:
+        return self._item_csr.degree(item)
+
+    def user_degrees(self) -> np.ndarray:
+        return np.diff(self._user_csr.indptr)
+
+    def item_degrees(self) -> np.ndarray:
+        return np.diff(self._item_csr.indptr)
+
+    def has_edge(self, user: int, item: int) -> bool:
+        return item in self.item_neighbors(user)
+
+    def edge_weight(self, user: int, item: int) -> float:
+        """S((u, i)); 0.0 when the edge does not exist."""
+        neigh = self.item_neighbors(user)
+        mask = neigh == item
+        if not mask.any():
+            return 0.0
+        return float(self.item_neighbor_weights(user)[mask][0])
+
+    def edge_set(self) -> set[tuple[int, int]]:
+        """All edges as python tuples (test/diagnostic helper)."""
+        return {(int(u), int(i)) for u, i in self._edges}
+
+    # ------------------------------------------------------------------
+    # Derived views
+    # ------------------------------------------------------------------
+    def with_features(
+        self,
+        user_features: np.ndarray | None = None,
+        item_features: np.ndarray | None = None,
+    ) -> "BipartiteGraph":
+        """A copy of this graph with the given feature matrices attached."""
+        return BipartiteGraph(
+            self.num_users,
+            self.num_items,
+            self._edges,
+            self._weights,
+            user_features if user_features is not None else self.user_features,
+            item_features if item_features is not None else self.item_features,
+        )
+
+    def subgraph_by_edges(self, edge_mask: np.ndarray) -> "BipartiteGraph":
+        """Graph with only the edges selected by the boolean ``edge_mask``.
+
+        Vertex sets (and features) are preserved so ids stay aligned.
+        """
+        edge_mask = np.asarray(edge_mask, dtype=bool)
+        if edge_mask.shape != (self.num_edges,):
+            raise ValueError("edge_mask must have one entry per edge")
+        return BipartiteGraph(
+            self.num_users,
+            self.num_items,
+            self._edges[edge_mask],
+            self._weights[edge_mask],
+            self.user_features,
+            self.item_features,
+        )
+
+    def adjacency_matrix(self) -> np.ndarray:
+        """Dense (num_users, num_items) weight matrix — small graphs only."""
+        if self.num_users * self.num_items > 50_000_000:
+            raise MemoryError("graph too large for a dense adjacency matrix")
+        mat = np.zeros((self.num_users, self.num_items))
+        mat[self._edges[:, 0], self._edges[:, 1]] = self._weights
+        return mat
+
+    def __repr__(self) -> str:
+        return (
+            f"BipartiteGraph(users={self.num_users}, items={self.num_items}, "
+            f"edges={self.num_edges}, density={self.density:.3e})"
+        )

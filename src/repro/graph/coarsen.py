@@ -1,0 +1,128 @@
+"""Graph coarsening — the F(C_u, C_i, G) step of Algorithm 1.
+
+Given cluster assignments of users and items, build the next-level
+bipartite graph whose vertices are the clusters.  Edge weights follow
+Eq. 6: S(C_u, C_i) = sum of S(e) over all original edges between members
+of the two clusters; an edge exists iff that sum is positive.  Cluster
+features are the mean embedding of the members (Section III-C).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+
+__all__ = ["CoarseningResult", "coarsen"]
+
+
+@dataclass(frozen=True)
+class CoarseningResult:
+    """Output of one coarsening step.
+
+    Attributes
+    ----------
+    graph:
+        The coarsened bipartite graph with cluster-mean features attached.
+    user_assignment, item_assignment:
+        Arrays mapping each fine vertex to its cluster id at this level.
+    """
+
+    graph: BipartiteGraph
+    user_assignment: np.ndarray
+    item_assignment: np.ndarray
+
+
+def coarsen(
+    graph: BipartiteGraph,
+    user_assignment: np.ndarray,
+    item_assignment: np.ndarray,
+    user_embeddings: np.ndarray,
+    item_embeddings: np.ndarray,
+) -> CoarseningResult:
+    """Build the coarsened graph F(C_u, C_i, G) of Algorithm 1 line 6.
+
+    Parameters
+    ----------
+    graph:
+        The current-level bipartite graph G^{l-1}.
+    user_assignment, item_assignment:
+        Cluster ids per vertex (0-based, dense — every id in
+        ``[0, n_clusters)`` should be used).
+    user_embeddings, item_embeddings:
+        The level-l embeddings Z_u^l, Z_i^l from which cluster features
+        X_{C_u}, X_{C_i} are computed as member means.
+    """
+    user_assignment = _validated(user_assignment, graph.num_users, "user")
+    item_assignment = _validated(item_assignment, graph.num_items, "item")
+    n_user_clusters = int(user_assignment.max()) + 1
+    n_item_clusters = int(item_assignment.max()) + 1
+
+    user_feats = _cluster_means(user_embeddings, user_assignment, n_user_clusters)
+    item_feats = _cluster_means(item_embeddings, item_assignment, n_item_clusters)
+
+    # Aggregate edge weights per (user-cluster, item-cluster) pair (Eq. 6).
+    edges = graph.edges
+    cu = user_assignment[edges[:, 0]]
+    ci = item_assignment[edges[:, 1]]
+    pair_key = cu * n_item_clusters + ci
+    unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+    summed = np.zeros(len(unique_keys))
+    np.add.at(summed, inverse, graph.edge_weights)
+    coarse_edges = np.column_stack(
+        [unique_keys // n_item_clusters, unique_keys % n_item_clusters]
+    )
+
+    coarse = BipartiteGraph(
+        num_users=n_user_clusters,
+        num_items=n_item_clusters,
+        edges=coarse_edges,
+        weights=summed,
+        user_features=user_feats,
+        item_features=item_feats,
+    )
+    return CoarseningResult(
+        graph=coarse,
+        user_assignment=user_assignment,
+        item_assignment=item_assignment,
+    )
+
+
+def compose_assignments(levels: list[np.ndarray]) -> np.ndarray:
+    """Compose per-level assignments into base-vertex -> top-cluster.
+
+    ``levels[0]`` maps base vertices to level-1 clusters, ``levels[1]``
+    maps level-1 clusters to level-2 clusters, and so on.
+    """
+    if not levels:
+        raise ValueError("need at least one assignment level")
+    composed = levels[0]
+    for nxt in levels[1:]:
+        composed = nxt[composed]
+    return composed
+
+
+def _validated(assignment: np.ndarray, n: int, side: str) -> np.ndarray:
+    assignment = np.asarray(assignment, dtype=np.int64)
+    if assignment.shape != (n,):
+        raise ValueError(f"{side}_assignment must have shape ({n},)")
+    if len(assignment) and assignment.min() < 0:
+        raise ValueError(f"{side}_assignment contains negative cluster ids")
+    return assignment
+
+
+def _cluster_means(
+    embeddings: np.ndarray, assignment: np.ndarray, n_clusters: int
+) -> np.ndarray:
+    embeddings = np.asarray(embeddings, dtype=np.float64)
+    if embeddings.shape[0] != len(assignment):
+        raise ValueError("embeddings and assignment lengths differ")
+    dim = embeddings.shape[1]
+    sums = np.zeros((n_clusters, dim))
+    np.add.at(sums, assignment, embeddings)
+    counts = np.bincount(assignment, minlength=n_clusters).astype(np.float64)
+    empty = counts == 0
+    counts[empty] = 1.0  # leave empty clusters at the zero vector
+    return sums / counts[:, None]

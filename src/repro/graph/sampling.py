@@ -1,0 +1,161 @@
+"""Neighbour and negative samplers over bipartite graphs.
+
+``NeighborSampler`` implements the fixed-fan-out sampling GraphSAGE uses
+(K1, K2 in the paper's complexity analysis, Section III-D).
+``NegativeSampler`` draws the negatives of Eq. 5's ``P_n`` distribution
+— uniform, or proportional to degree^0.75 as in word2vec.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.utils.rng import ensure_rng
+
+__all__ = ["NeighborSampler", "NegativeSampler", "sample_edge_batches"]
+
+
+class NeighborSampler:
+    """Draw fixed-size neighbour samples with replacement.
+
+    Sampling is fully vectorised over the batch: per-vertex uniform
+    offsets into the CSR neighbour slices.  Sampling *with* replacement
+    (as in production GraphSAGE implementations) keeps the fan-out shape
+    rectangular and the estimator unbiased.  Vertices with no neighbours
+    receive the placeholder index ``-1``, which callers map to a zero
+    vector.
+
+    With ``weighted=True`` neighbours are drawn proportionally to their
+    edge weights (importance sampling for the ``weighted_mean``
+    aggregator).
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        rng: int | np.random.Generator | None = None,
+        weighted: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.rng = ensure_rng(rng)
+        self.weighted = weighted
+        if weighted:
+            self._user_cum = self._cumulative(graph._user_csr)
+            self._item_cum = self._cumulative(graph._item_csr)
+
+    @staticmethod
+    def _cumulative(csr) -> np.ndarray:
+        """Per-row cumulative weight shares for weighted sampling."""
+        cum = np.cumsum(csr.weights)
+        return cum
+
+    def sample_items_for_users(self, users: np.ndarray, fanout: int) -> np.ndarray:
+        """``(len(users), fanout)`` item ids; -1 marks isolated users."""
+        return self._sample(users, fanout, side="user")
+
+    def sample_users_for_items(self, items: np.ndarray, fanout: int) -> np.ndarray:
+        """``(len(items), fanout)`` user ids; -1 marks isolated items."""
+        return self._sample(items, fanout, side="item")
+
+    def _sample(self, vertices: np.ndarray, fanout: int, side: str) -> np.ndarray:
+        if fanout <= 0:
+            raise ValueError("fanout must be positive")
+        vertices = np.asarray(vertices, dtype=np.int64)
+        csr = self.graph._user_csr if side == "user" else self.graph._item_csr
+        starts = csr.indptr[vertices]
+        degrees = csr.indptr[vertices + 1] - starts
+        if self.weighted:
+            return self._sample_weighted(csr, vertices, starts, degrees, fanout, side)
+        if len(csr.indices) == 0:
+            return np.full((len(vertices), fanout), -1, dtype=np.int64)
+        offsets = (
+            self.rng.random((len(vertices), fanout)) * degrees[:, None]
+        ).astype(np.int64)
+        positions = np.minimum(starts[:, None] + offsets, len(csr.indices) - 1)
+        return np.where(degrees[:, None] > 0, csr.indices[positions], -1)
+
+    def _sample_weighted(
+        self,
+        csr,
+        vertices: np.ndarray,
+        starts: np.ndarray,
+        degrees: np.ndarray,
+        fanout: int,
+        side: str,
+    ) -> np.ndarray:
+        cum = self._user_cum if side == "user" else self._item_cum
+        out = np.full((len(vertices), fanout), -1, dtype=np.int64)
+        for row, (start, deg) in enumerate(zip(starts, degrees)):
+            if deg == 0:
+                continue
+            base = cum[start - 1] if start > 0 else 0.0
+            slice_cum = cum[start : start + deg] - base
+            total = slice_cum[-1]
+            draws = self.rng.random(fanout) * total
+            picks = np.searchsorted(slice_cum, draws, side="right")
+            out[row] = csr.indices[start + np.minimum(picks, deg - 1)]
+        return out
+
+
+class NegativeSampler:
+    """Sample negative users/items for the unsupervised loss (Eq. 5).
+
+    ``distribution`` is ``"uniform"`` or ``"degree"`` (propto deg^0.75,
+    with +1 smoothing so isolated vertices remain reachable).
+    """
+
+    def __init__(
+        self,
+        graph: BipartiteGraph,
+        distribution: str = "degree",
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if distribution not in {"uniform", "degree"}:
+            raise ValueError(f"unknown distribution {distribution!r}")
+        self.graph = graph
+        self.distribution = distribution
+        self.rng = ensure_rng(rng)
+        if distribution == "degree":
+            u_w = (graph.user_degrees() + 1.0) ** 0.75
+            i_w = (graph.item_degrees() + 1.0) ** 0.75
+            self._user_probs = u_w / u_w.sum()
+            self._item_probs = i_w / i_w.sum()
+        else:
+            self._user_probs = None
+            self._item_probs = None
+
+    def sample_users(self, size: int) -> np.ndarray:
+        """Draw ``size`` negative user ids from P_n(u)."""
+        return self.rng.choice(
+            self.graph.num_users, size=size, replace=True, p=self._user_probs
+        )
+
+    def sample_items(self, size: int) -> np.ndarray:
+        """Draw ``size`` negative item ids from P_n(i)."""
+        return self.rng.choice(
+            self.graph.num_items, size=size, replace=True, p=self._item_probs
+        )
+
+
+def sample_edge_batches(
+    graph: BipartiteGraph,
+    batch_size: int,
+    rng: int | np.random.Generator | None = None,
+    shuffle: bool = True,
+):
+    """Yield ``(users, items, weights)`` mini-batches covering every edge.
+
+    Edges are visited exactly once per epoch in a shuffled order.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    rng = ensure_rng(rng)
+    order = np.arange(graph.num_edges)
+    if shuffle:
+        rng.shuffle(order)
+    edges = graph.edges
+    weights = graph.edge_weights
+    for start in range(0, len(order), batch_size):
+        batch = order[start : start + batch_size]
+        yield edges[batch, 0], edges[batch, 1], weights[batch]

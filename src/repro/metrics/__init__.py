@@ -1,0 +1,23 @@
+"""Evaluation metrics: AUC, classification, ranking."""
+
+from repro.metrics.auc import auc, roc_curve
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    log_loss,
+    precision_recall_f1,
+)
+from repro.metrics.ranking import hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k
+
+__all__ = [
+    "auc",
+    "roc_curve",
+    "accuracy",
+    "confusion_matrix",
+    "log_loss",
+    "precision_recall_f1",
+    "hit_rate_at_k",
+    "ndcg_at_k",
+    "precision_at_k",
+    "recall_at_k",
+]

@@ -1,0 +1,58 @@
+"""Area under the ROC curve — the paper's offline metric (Section IV-B-1)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["auc", "roc_curve"]
+
+
+def auc(labels: np.ndarray, scores: np.ndarray) -> float:
+    """AUC via the rank-sum (Mann–Whitney) formulation.
+
+    Ties in ``scores`` receive mid-ranks, so the value matches the
+    trapezoidal ROC integral exactly.  Raises if only one class is
+    present (AUC undefined).
+    """
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if labels.shape != scores.shape:
+        raise ValueError("labels and scores must have the same shape")
+    n_pos = int(labels.sum())
+    n_neg = len(labels) - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC requires both positive and negative samples")
+    order = np.argsort(scores, kind="mergesort")
+    ranks = np.empty(len(scores), dtype=np.float64)
+    sorted_scores = scores[order]
+    # Mid-ranks for ties.
+    i = 0
+    while i < len(sorted_scores):
+        j = i
+        while j + 1 < len(sorted_scores) and sorted_scores[j + 1] == sorted_scores[i]:
+            j += 1
+        ranks[order[i : j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    rank_sum_pos = ranks[labels].sum()
+    return float((rank_sum_pos - n_pos * (n_pos + 1) / 2.0) / (n_pos * n_neg))
+
+
+def roc_curve(
+    labels: np.ndarray, scores: np.ndarray
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(fpr, tpr, thresholds) at every distinct score cut."""
+    labels = np.asarray(labels).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="mergesort")
+    sorted_labels = labels[order]
+    sorted_scores = scores[order]
+    distinct = np.flatnonzero(np.diff(sorted_scores)) if len(scores) > 1 else np.array([], dtype=int)
+    cut_idx = np.concatenate([distinct, [len(labels) - 1]])
+    tps = np.cumsum(sorted_labels)[cut_idx]
+    fps = (cut_idx + 1) - tps
+    n_pos = max(int(labels.sum()), 1)
+    n_neg = max(len(labels) - int(labels.sum()), 1)
+    tpr = np.concatenate([[0.0], tps / n_pos])
+    fpr = np.concatenate([[0.0], fps / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[cut_idx]])
+    return fpr, tpr, thresholds

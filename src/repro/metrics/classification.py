@@ -1,0 +1,47 @@
+"""Binary-classification metrics beyond AUC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["log_loss", "accuracy", "precision_recall_f1", "confusion_matrix"]
+
+
+def log_loss(labels: np.ndarray, probs: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of Bernoulli labels under ``probs``."""
+    labels = np.asarray(labels, dtype=np.float64)
+    probs = np.clip(np.asarray(probs, dtype=np.float64), eps, 1.0 - eps)
+    if labels.shape != probs.shape:
+        raise ValueError("labels and probs must have the same shape")
+    return float(-np.mean(labels * np.log(probs) + (1 - labels) * np.log(1 - probs)))
+
+
+def accuracy(labels: np.ndarray, probs: np.ndarray, threshold: float = 0.5) -> float:
+    """Fraction of correct hard decisions at ``threshold``."""
+    labels = np.asarray(labels).astype(int)
+    preds = (np.asarray(probs) >= threshold).astype(int)
+    return float(np.mean(labels == preds))
+
+
+def confusion_matrix(
+    labels: np.ndarray, probs: np.ndarray, threshold: float = 0.5
+) -> np.ndarray:
+    """2x2 matrix [[tn, fp], [fn, tp]]."""
+    labels = np.asarray(labels).astype(int)
+    preds = (np.asarray(probs) >= threshold).astype(int)
+    tp = int(np.sum((labels == 1) & (preds == 1)))
+    tn = int(np.sum((labels == 0) & (preds == 0)))
+    fp = int(np.sum((labels == 0) & (preds == 1)))
+    fn = int(np.sum((labels == 1) & (preds == 0)))
+    return np.array([[tn, fp], [fn, tp]])
+
+
+def precision_recall_f1(
+    labels: np.ndarray, probs: np.ndarray, threshold: float = 0.5
+) -> tuple[float, float, float]:
+    """(precision, recall, F1) at ``threshold``; 0.0 on empty denominators."""
+    (_, fp), (fn, tp) = confusion_matrix(labels, probs, threshold)
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    f1 = 2 * precision * recall / (precision + recall) if precision + recall else 0.0
+    return float(precision), float(recall), float(f1)

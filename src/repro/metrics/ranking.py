@@ -1,0 +1,51 @@
+"""Top-K ranking metrics for recommendation slates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["recall_at_k", "precision_at_k", "ndcg_at_k", "hit_rate_at_k"]
+
+
+def _top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    k = min(k, len(scores))
+    return np.argsort(-scores, kind="mergesort")[:k]
+
+
+def recall_at_k(relevant: set[int], scores: np.ndarray, k: int) -> float:
+    """|top-k ∩ relevant| / |relevant| (0.0 when nothing is relevant)."""
+    if not relevant:
+        return 0.0
+    top = _top_k(scores, k)
+    hits = sum(1 for item in top if int(item) in relevant)
+    return hits / len(relevant)
+
+
+def precision_at_k(relevant: set[int], scores: np.ndarray, k: int) -> float:
+    """|top-k ∩ relevant| / k."""
+    top = _top_k(scores, k)
+    hits = sum(1 for item in top if int(item) in relevant)
+    return hits / max(len(top), 1)
+
+
+def hit_rate_at_k(relevant: set[int], scores: np.ndarray, k: int) -> float:
+    """1.0 if any relevant item appears in the top-k."""
+    top = _top_k(scores, k)
+    return 1.0 if any(int(item) in relevant for item in top) else 0.0
+
+
+def ndcg_at_k(relevant: set[int], scores: np.ndarray, k: int) -> float:
+    """Binary-relevance normalised discounted cumulative gain."""
+    if not relevant:
+        return 0.0
+    top = _top_k(scores, k)
+    dcg = sum(
+        1.0 / np.log2(rank + 2.0)
+        for rank, item in enumerate(top)
+        if int(item) in relevant
+    )
+    ideal_hits = min(len(relevant), len(top))
+    idcg = sum(1.0 / np.log2(rank + 2.0) for rank in range(ideal_hits))
+    return float(dcg / idcg) if idcg else 0.0

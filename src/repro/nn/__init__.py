@@ -1,0 +1,54 @@
+"""A small, fully tested reverse-mode autograd + NN framework on numpy.
+
+This substrate replaces the deep-learning stack the paper's authors used
+internally at Alibaba; see DESIGN.md for the substitution rationale.
+"""
+
+from repro.nn.tensor import Tensor, concat, stack, where, no_grad, is_grad_enabled
+from repro.nn.layers import (
+    Activation,
+    Dropout,
+    Embedding,
+    Linear,
+    MLP,
+    Module,
+    Parameter,
+    Sequential,
+)
+from repro.nn.losses import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    l2_penalty,
+    mse_loss,
+)
+from repro.nn.optim import SGD, Adam, AdaGrad, Optimizer, build_optimizer, clip_grad_norm
+from repro.nn.serialization import load_module, save_module
+
+__all__ = [
+    "Tensor",
+    "concat",
+    "stack",
+    "where",
+    "no_grad",
+    "is_grad_enabled",
+    "Module",
+    "Parameter",
+    "Linear",
+    "MLP",
+    "Embedding",
+    "Dropout",
+    "Sequential",
+    "Activation",
+    "binary_cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "l2_penalty",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "AdaGrad",
+    "build_optimizer",
+    "clip_grad_norm",
+    "save_module",
+    "load_module",
+]

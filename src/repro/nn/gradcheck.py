@@ -1,0 +1,60 @@
+"""Numerical gradient checking used by the test suite.
+
+Central finite differences against the analytic gradients produced by
+:meth:`repro.nn.tensor.Tensor.backward`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["numerical_gradient", "check_gradient"]
+
+
+def numerical_gradient(
+    fn: Callable[[], Tensor], param: Tensor, eps: float = 1e-6
+) -> np.ndarray:
+    """Central-difference gradient of ``fn()`` (a scalar) w.r.t. ``param``."""
+    grad = np.zeros_like(param.data)
+    flat = param.data.reshape(-1)
+    grad_flat = grad.reshape(-1)
+    for i in range(flat.size):
+        original = flat[i]
+        flat[i] = original + eps
+        plus = fn().item()
+        flat[i] = original - eps
+        minus = fn().item()
+        flat[i] = original
+        grad_flat[i] = (plus - minus) / (2.0 * eps)
+    return grad
+
+
+def check_gradient(
+    fn: Callable[[], Tensor],
+    params: list[Tensor],
+    eps: float = 1e-6,
+    atol: float = 1e-4,
+    rtol: float = 1e-3,
+) -> None:
+    """Assert analytic and numeric gradients agree for every parameter.
+
+    Raises ``AssertionError`` with the offending parameter index on
+    mismatch.  ``fn`` must rebuild the computation graph on each call.
+    """
+    for p in params:
+        p.zero_grad()
+    loss = fn()
+    loss.backward()
+    for idx, p in enumerate(params):
+        analytic = p.grad if p.grad is not None else np.zeros_like(p.data)
+        numeric = numerical_gradient(fn, p, eps=eps)
+        if not np.allclose(analytic, numeric, atol=atol, rtol=rtol):
+            worst = float(np.max(np.abs(analytic - numeric)))
+            raise AssertionError(
+                f"gradient mismatch for parameter #{idx} "
+                f"(max abs err {worst:.3e})"
+            )

@@ -1,0 +1,161 @@
+"""First-order optimisers for :class:`repro.nn.layers.Parameter` lists."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nn.tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "AdaGrad", "clip_grad_norm", "build_optimizer"]
+
+
+class Optimizer:
+    """Base optimiser over a fixed parameter list."""
+
+    def __init__(self, params: list[Tensor], lr: float, weight_decay: float = 0.0) -> None:
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.params = list(params)
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad(self, p: Tensor) -> np.ndarray | None:
+        if p.grad is None:
+            return None
+        if self.weight_decay:
+            return p.grad + self.weight_decay * p.data
+        return p.grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            g = self._grad(p)
+            if g is None:
+                continue
+            if self.momentum:
+                v *= self.momentum
+                v += g
+                p.data -= self.lr * v
+            else:
+                p.data -= self.lr * g
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-3,
+        betas: tuple[float, float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        b1, b2 = betas
+        if not (0.0 <= b1 < 1.0 and 0.0 <= b2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.betas = betas
+        self.eps = eps
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+        self._t = 0
+
+    def step(self) -> None:
+        self._t += 1
+        b1, b2 = self.betas
+        bias1 = 1.0 - b1**self._t
+        bias2 = 1.0 - b2**self._t
+        for p, m, v in zip(self.params, self._m, self._v):
+            g = self._grad(p)
+            if g is None:
+                continue
+            m *= b1
+            m += (1.0 - b1) * g
+            v *= b2
+            v += (1.0 - b2) * g * g
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class AdaGrad(Optimizer):
+    """AdaGrad; well suited to the sparse embedding-table gradients here."""
+
+    def __init__(
+        self,
+        params: list[Tensor],
+        lr: float = 1e-2,
+        eps: float = 1e-10,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(params, lr, weight_decay)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, acc in zip(self.params, self._accum):
+            g = self._grad(p)
+            if g is None:
+                continue
+            acc += g * g
+            p.data -= self.lr * g / (np.sqrt(acc) + self.eps)
+
+
+def clip_grad_norm(params: list[Tensor], max_norm: float) -> float:
+    """Scale all gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    for p in params:
+        if p.grad is not None:
+            total += float(np.sum(p.grad**2))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0:
+        scale = max_norm / norm
+        for p in params:
+            if p.grad is not None:
+                p.grad *= scale
+    return norm
+
+
+def build_optimizer(
+    name: str, params: list[Tensor], lr: float, weight_decay: float = 0.0
+) -> Optimizer:
+    """Factory used by the training configs (``adam`` | ``sgd`` | ``adagrad``)."""
+    name = name.lower()
+    if name == "adam":
+        return Adam(params, lr=lr, weight_decay=weight_decay)
+    if name == "sgd":
+        return SGD(params, lr=lr, weight_decay=weight_decay)
+    if name == "adagrad":
+        return AdaGrad(params, lr=lr, weight_decay=weight_decay)
+    raise ValueError(f"unknown optimizer {name!r}")

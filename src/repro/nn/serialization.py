@@ -1,0 +1,33 @@
+"""Saving and loading module state dicts via ``numpy.savez``."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.nn.layers import Module
+
+__all__ = ["save_module", "load_module"]
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Serialise ``module.state_dict()`` to an ``.npz`` archive."""
+    state = module.state_dict()
+    # np.savez forbids some characters in keys on load; encode dots safely.
+    np.savez(path, **{_encode(k): v for k, v in state.items()})
+
+
+def load_module(module: Module, path: str | os.PathLike) -> None:
+    """Restore parameters saved by :func:`save_module` (strict)."""
+    with np.load(path) as archive:
+        state = {_decode(k): archive[k] for k in archive.files}
+    module.load_state_dict(state)
+
+
+def _encode(key: str) -> str:
+    return key.replace(".", "__DOT__")
+
+
+def _decode(key: str) -> str:
+    return key.replace("__DOT__", ".")

@@ -1,0 +1,47 @@
+"""Supervised e-commerce prediction: CVR head, DIN baseline, experiments."""
+
+from repro.prediction.features import FeatureAssembler
+from repro.prediction.cvr_model import (
+    CVRModel,
+    CVRTrainConfig,
+    CVRTrainResult,
+    train_cvr_model,
+)
+from repro.prediction.din import DIN, DINConfig, build_user_histories, train_din
+from repro.prediction.hoprec import HopRec, HopRecConfig, HopRecResult
+from repro.prediction.ngcf import NGCF, NGCFConfig, NGCFResult, train_ngcf
+from repro.prediction.experiment import (
+    ALL_METHODS,
+    GRAPH_METHODS,
+    MethodResult,
+    method_representations,
+    run_din,
+    run_graph_method,
+    run_table3,
+)
+
+__all__ = [
+    "FeatureAssembler",
+    "CVRModel",
+    "CVRTrainConfig",
+    "CVRTrainResult",
+    "train_cvr_model",
+    "DIN",
+    "DINConfig",
+    "build_user_histories",
+    "train_din",
+    "HopRec",
+    "HopRecConfig",
+    "HopRecResult",
+    "NGCF",
+    "NGCFConfig",
+    "NGCFResult",
+    "train_ngcf",
+    "ALL_METHODS",
+    "GRAPH_METHODS",
+    "MethodResult",
+    "method_representations",
+    "run_din",
+    "run_graph_method",
+    "run_table3",
+]

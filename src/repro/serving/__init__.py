@@ -1,0 +1,31 @@
+"""Simulated online serving and A/B testing (Sections IV-C and V-D-4)."""
+
+from repro.serving.environment import OnlineEnvironment, Recommender, ServingMetrics
+from repro.serving.recommend import (
+    PopularityRecommender,
+    ScoreTableRecommender,
+    TaxonomyRecommender,
+)
+from repro.serving.abtest import ABDayResult, ABTestReport, run_ab_test
+from repro.serving.pipeline import (
+    build_taxonomy_ab_world,
+    cvr_score_table,
+    sample_user_histories,
+    user_topics_from_history,
+)
+
+__all__ = [
+    "OnlineEnvironment",
+    "Recommender",
+    "ServingMetrics",
+    "PopularityRecommender",
+    "ScoreTableRecommender",
+    "TaxonomyRecommender",
+    "ABDayResult",
+    "ABTestReport",
+    "run_ab_test",
+    "build_taxonomy_ab_world",
+    "cvr_score_table",
+    "sample_user_histories",
+    "user_topics_from_history",
+]

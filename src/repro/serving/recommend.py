@@ -1,0 +1,115 @@
+"""Recommenders used in the simulated A/B tests.
+
+``ModelRecommender`` ranks a candidate pool by a trained CVR model's
+scores (the Table IV treatment/control arms).  ``TaxonomyRecommender``
+serves items from the taxonomy topic matching the user's interests (the
+Section V-D-4 taxonomy A/B).  ``PopularityRecommender`` is a sanity
+floor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.serving.environment import Recommender
+from repro.taxonomy.builder import Taxonomy
+from repro.utils.rng import ensure_rng
+
+__all__ = ["ScoreTableRecommender", "PopularityRecommender", "TaxonomyRecommender"]
+
+
+class ScoreTableRecommender(Recommender):
+    """Top-K over a precomputed (num_users, num_candidates) score table.
+
+    Scoring every (user, candidate) pair up front keeps the serving loop
+    fast and makes the recommender deterministic.
+    """
+
+    def __init__(self, scores: np.ndarray, candidate_items: np.ndarray) -> None:
+        scores = np.asarray(scores, dtype=np.float64)
+        candidate_items = np.asarray(candidate_items, dtype=np.int64)
+        if scores.ndim != 2 or scores.shape[1] != len(candidate_items):
+            raise ValueError("scores must be (num_users, num_candidates)")
+        self._ranked = np.argsort(-scores, axis=1, kind="mergesort")
+        self._candidates = candidate_items
+
+    def recommend(self, user: int, k: int) -> np.ndarray:
+        return self._candidates[self._ranked[user, :k]]
+
+
+class PopularityRecommender(Recommender):
+    """Everyone gets the globally most-clicked candidates."""
+
+    def __init__(self, click_counts: np.ndarray, candidate_items: np.ndarray) -> None:
+        candidate_items = np.asarray(candidate_items, dtype=np.int64)
+        order = np.argsort(-np.asarray(click_counts)[candidate_items], kind="mergesort")
+        self._ranked_items = candidate_items[order]
+
+    def recommend(self, user: int, k: int) -> np.ndarray:
+        return self._ranked_items[:k]
+
+
+class TaxonomyRecommender(Recommender):
+    """Serve items from the taxonomy topics matching a user's interests.
+
+    ``user_topics`` maps each user to the finest-level topic ids that
+    cover their interest profile (e.g. the topics containing their
+    recently clicked items).  The slate is filled with the most popular
+    unseen items of those topics, walking up to the parent topic when a
+    topic runs dry — so a *better* taxonomy (items truly sharing intent)
+    yields slates the user actually clicks.
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        user_topics: dict[int, list[str]],
+        click_counts: np.ndarray,
+        candidate_items: np.ndarray | None = None,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.user_topics = user_topics
+        self.click_counts = np.asarray(click_counts, dtype=np.float64)
+        self.candidate_set = (
+            set(int(i) for i in candidate_items) if candidate_items is not None else None
+        )
+        self.rng = ensure_rng(rng)
+
+    def _topic_items(self, topic_id: str) -> np.ndarray:
+        items = self.taxonomy.topics[topic_id].items
+        if self.candidate_set is not None:
+            items = np.array(
+                [i for i in items if int(i) in self.candidate_set], dtype=np.int64
+            )
+        return items
+
+    def recommend(self, user: int, k: int) -> np.ndarray:
+        slate: list[int] = []
+        seen: set[int] = set()
+        topics = list(self.user_topics.get(int(user), []))
+        # Round-robin over the user's topics, most popular items first;
+        # escalate to parents if the user's topics cannot fill the slate.
+        frontier = topics
+        while frontier and len(slate) < k:
+            next_frontier: list[str] = []
+            for topic_id in frontier:
+                if topic_id not in self.taxonomy.topics:
+                    continue
+                items = self._topic_items(topic_id)
+                fresh = [int(i) for i in items if int(i) not in seen]
+                fresh.sort(key=lambda i: -self.click_counts[i])
+                for item in fresh:
+                    if len(slate) >= k:
+                        break
+                    slate.append(item)
+                    seen.add(item)
+                parent = self.taxonomy.topics[topic_id].parent
+                if parent:
+                    next_frontier.append(parent)
+            frontier = next_frontier
+        if len(slate) < k and self.candidate_set is not None:
+            # Back-fill with popular candidates outside the user's topics.
+            pool = sorted(self.candidate_set - seen, key=lambda i: -self.click_counts[i])
+            slate.extend(pool[: k - len(slate)])
+        return np.asarray(slate[:k], dtype=np.int64)

@@ -1,0 +1,35 @@
+"""Topic-driven taxonomy construction (Section V)."""
+
+from repro.taxonomy.pipeline import (
+    TaxonomyPipelineConfig,
+    embed_texts,
+    fit_query_item_hignn,
+)
+from repro.taxonomy.builder import Taxonomy, Topic, build_taxonomy
+from repro.taxonomy.describe import TopicDescriber, describe_taxonomy
+from repro.taxonomy.shoal import build_shoal_taxonomy
+from repro.taxonomy.navigation import NavigationResult, TaxonomyNavigator
+from repro.taxonomy.metrics import (
+    evaluate_taxonomy,
+    taxonomy_accuracy,
+    taxonomy_diversity,
+    topic_accuracy,
+)
+
+__all__ = [
+    "TaxonomyPipelineConfig",
+    "embed_texts",
+    "fit_query_item_hignn",
+    "Taxonomy",
+    "Topic",
+    "build_taxonomy",
+    "TopicDescriber",
+    "describe_taxonomy",
+    "build_shoal_taxonomy",
+    "evaluate_taxonomy",
+    "taxonomy_accuracy",
+    "taxonomy_diversity",
+    "topic_accuracy",
+    "NavigationResult",
+    "TaxonomyNavigator",
+]

@@ -1,0 +1,151 @@
+"""Topic-driven taxonomy construction (Section V-C-1).
+
+A fitted query–item hierarchy induces a topic tree: level-1 item
+clusters are the finest topics, level-2 clusters group them, and so on
+up to the root.  Each topic records its member items (base ids) and the
+queries attached to those items, ready for description matching.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.hierarchy import HierarchicalEmbeddings
+from repro.data.synthetic_text import QueryItemDataset
+
+__all__ = ["Topic", "Taxonomy", "build_taxonomy"]
+
+
+@dataclass
+class Topic:
+    """One node of the discovered taxonomy.
+
+    ``level`` counts from 1 (finest clusters) to L (coarsest); the
+    implicit root above level L is not materialised.
+    """
+
+    topic_id: str
+    level: int
+    cluster: int
+    items: np.ndarray  # base item ids
+    queries: np.ndarray  # base query ids attached to those items
+    parent: str | None = None
+    children: list[str] = field(default_factory=list)
+    description: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.items)
+
+
+@dataclass
+class Taxonomy:
+    """The discovered topic tree, indexed by topic id."""
+
+    topics: dict[str, Topic] = field(default_factory=dict)
+    num_levels: int = 0
+
+    def at_level(self, level: int) -> list[Topic]:
+        """All topics at ``level`` (1 = finest)."""
+        return [t for t in self.topics.values() if t.level == level]
+
+    def roots(self) -> list[Topic]:
+        """Topics at the coarsest level."""
+        return self.at_level(self.num_levels)
+
+    def children_of(self, topic_id: str) -> list[Topic]:
+        return [self.topics[c] for c in self.topics[topic_id].children]
+
+    def __len__(self) -> int:
+        return len(self.topics)
+
+    def render(self, max_children: int = 5, max_depth: int | None = None) -> str:
+        """ASCII rendering of the tree (the Fig. 5 reproduction)."""
+        lines: list[str] = []
+        for root in sorted(self.roots(), key=lambda t: -t.size):
+            self._render_node(root, lines, indent=0, max_children=max_children,
+                              max_depth=max_depth)
+        return "\n".join(lines)
+
+    def _render_node(
+        self,
+        topic: Topic,
+        lines: list[str],
+        indent: int,
+        max_children: int,
+        max_depth: int | None,
+    ) -> None:
+        label = topic.description or topic.topic_id
+        lines.append(f"{'  ' * indent}- {label} ({topic.size} items)")
+        if max_depth is not None and indent + 1 >= max_depth:
+            return
+        children = sorted(self.children_of(topic.topic_id), key=lambda t: -t.size)
+        for child in children[:max_children]:
+            self._render_node(child, lines, indent + 1, max_children, max_depth)
+
+
+def build_taxonomy(
+    hierarchy: HierarchicalEmbeddings,
+    dataset: QueryItemDataset,
+    min_topic_size: int = 1,
+) -> Taxonomy:
+    """Materialise the topic tree from a fitted hierarchy.
+
+    Level ``l`` topics are the item clusters of hierarchy level ``l``
+    (i.e. the item vertices of G^l), with parent links following the
+    next K-means assignment.  Topics smaller than ``min_topic_size``
+    items are dropped (and their parents lose those members).
+    """
+    if hierarchy.num_levels < 1:
+        raise ValueError("hierarchy has no levels")
+    taxonomy = Taxonomy(num_levels=hierarchy.num_levels)
+    graph = dataset.graph
+
+    # Base item -> cluster id per level (composed assignments).
+    memberships: list[np.ndarray] = []
+    for level in range(1, hierarchy.num_levels + 1):
+        if level < hierarchy.num_levels:
+            membership = hierarchy.item_membership(level + 1)
+        else:
+            membership = hierarchy.levels[-1].item_assignment[
+                hierarchy.item_membership(hierarchy.num_levels)
+            ]
+        memberships.append(membership)
+
+    for level, membership in enumerate(memberships, start=1):
+        for cluster in np.unique(membership):
+            items = np.flatnonzero(membership == cluster)
+            if len(items) < min_topic_size:
+                continue
+            queries = _queries_of_items(graph, items)
+            topic = Topic(
+                topic_id=f"L{level}C{int(cluster)}",
+                level=level,
+                cluster=int(cluster),
+                items=items,
+                queries=queries,
+            )
+            taxonomy.topics[topic.topic_id] = topic
+
+    # Parent links: a level-l topic's parent is the level-(l+1) cluster
+    # of (any of) its members — assignments are consistent by build.
+    for level in range(1, hierarchy.num_levels):
+        child_membership = memberships[level - 1]
+        parent_membership = memberships[level]
+        for topic in taxonomy.at_level(level):
+            parent_cluster = int(parent_membership[topic.items[0]])
+            parent_id = f"L{level + 1}C{parent_cluster}"
+            if parent_id in taxonomy.topics:
+                topic.parent = parent_id
+                taxonomy.topics[parent_id].children.append(topic.topic_id)
+    return taxonomy
+
+
+def _queries_of_items(graph, items: np.ndarray) -> np.ndarray:
+    """Unique query ids adjacent to any of ``items``."""
+    queries: set[int] = set()
+    for item in items:
+        queries.update(int(q) for q in graph.user_neighbors(int(item)))
+    return np.array(sorted(queries), dtype=np.int64)

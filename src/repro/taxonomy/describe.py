@@ -1,0 +1,104 @@
+"""Topic description matching (Section V-C-2, Eqs. 14–16).
+
+The most representative query becomes a topic's description.  For query
+``q`` and topic ``t_k``:
+
+* popularity  pop(q, t_k) = log(tf(q, I_k) + 1) / log(tf(I_k))  (Eq. 15)
+* concentration con(q, t_k) = exp(rel(q, D_k)) / (1 + sum_j exp(rel(q, D_j)))
+  with ``rel`` the BM25 relevance of the query against the concatenated
+  member titles D_k (Eq. 16)
+* representativeness r(q, t_k) = sqrt(pop * con)  (Eq. 14)
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+
+from repro.data.synthetic_text import QueryItemDataset
+from repro.taxonomy.builder import Taxonomy, Topic
+from repro.text.bm25 import BM25
+
+__all__ = ["TopicDescriber", "describe_taxonomy"]
+
+
+class TopicDescriber:
+    """Scores and assigns query descriptions for a set of topics.
+
+    All topics passed to :meth:`describe` compete in the concentration
+    denominator, so a query that matches everywhere is penalised.
+    """
+
+    def __init__(self, dataset: QueryItemDataset, topics: list[Topic]) -> None:
+        if not topics:
+            raise ValueError("need at least one topic")
+        self.dataset = dataset
+        self.topics = topics
+        self._topic_docs = [self._concat_titles(t) for t in topics]
+        self._bm25 = BM25(self._topic_docs)
+        self._topic_token_counts = [Counter(doc) for doc in self._topic_docs]
+        self._topic_token_totals = [max(len(doc), 1) for doc in self._topic_docs]
+
+    def _concat_titles(self, topic: Topic) -> list[str]:
+        doc: list[str] = []
+        for item in topic.items:
+            doc.extend(self.dataset.item_titles[int(item)])
+        return doc
+
+    # -- Eq. 15 ---------------------------------------------------------
+    def popularity(self, query: int, topic_index: int) -> float:
+        """log(tf(q, I_k) + 1) / log(tf(I_k))."""
+        tokens = self.dataset.query_texts[int(query)]
+        counts = self._topic_token_counts[topic_index]
+        tf_q = sum(counts.get(tok, 0) for tok in tokens)
+        tf_total = self._topic_token_totals[topic_index]
+        if tf_total <= 1:
+            return 0.0
+        return math.log(tf_q + 1.0) / math.log(tf_total)
+
+    # -- Eq. 16 ---------------------------------------------------------
+    def concentration(self, query: int, topic_index: int) -> float:
+        """exp(rel(q, D_k)) / (1 + sum_j exp(rel(q, D_j)))."""
+        tokens = self.dataset.query_texts[int(query)]
+        rels = np.array(self._bm25.scores(tokens))
+        rels = rels - rels.max()  # stabilise the softmax-like ratio
+        exps = np.exp(rels)
+        return float(exps[topic_index] / (1.0 + exps.sum()))
+
+    # -- Eq. 14 ---------------------------------------------------------
+    def representativeness(self, query: int, topic_index: int) -> float:
+        """sqrt(pop * con)."""
+        pop = self.popularity(query, topic_index)
+        con = self.concentration(query, topic_index)
+        return math.sqrt(max(pop, 0.0) * max(con, 0.0))
+
+    def best_query(self, topic_index: int) -> tuple[int | None, float]:
+        """The member query maximising representativeness for the topic."""
+        topic = self.topics[topic_index]
+        best_q: int | None = None
+        best_r = -1.0
+        for query in topic.queries:
+            r = self.representativeness(int(query), topic_index)
+            if r > best_r:
+                best_r = r
+                best_q = int(query)
+        return best_q, best_r
+
+    def describe(self) -> None:
+        """Assign each topic its best query's text as description."""
+        for index, topic in enumerate(self.topics):
+            query, _ = self.best_query(index)
+            if query is None:
+                topic.description = topic.topic_id
+            else:
+                topic.description = " ".join(self.dataset.query_texts[query])
+
+
+def describe_taxonomy(taxonomy: Taxonomy, dataset: QueryItemDataset) -> None:
+    """Assign descriptions level by level (topics compete within a level)."""
+    for level in range(1, taxonomy.num_levels + 1):
+        topics = taxonomy.at_level(level)
+        if topics:
+            TopicDescriber(dataset, topics).describe()

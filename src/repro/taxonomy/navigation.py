@@ -1,0 +1,107 @@
+"""Browsing navigation over a topic-driven taxonomy.
+
+The paper motivates taxonomy construction with "personalized browsing
+navigation" (Sections I and V): given a search query, land the user on
+the best-matching topic and expose its path to the root plus sibling
+topics to explore.  This module implements that lookup with BM25 over
+topic member titles, the same relevance the description matcher uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.synthetic_text import QueryItemDataset
+from repro.taxonomy.builder import Taxonomy, Topic
+from repro.text.bm25 import BM25
+from repro.text.tokenize import tokenize
+
+__all__ = ["NavigationResult", "TaxonomyNavigator"]
+
+
+@dataclass(frozen=True)
+class NavigationResult:
+    """Where a query landed in the taxonomy."""
+
+    topic_id: str
+    score: float
+    path: list[str]  # topic ids from the landing topic up to its root
+    siblings: list[str]  # other children of the landing topic's parent
+    items: np.ndarray  # member items of the landing topic
+
+
+class TaxonomyNavigator:
+    """Route free-text queries into taxonomy topics.
+
+    Parameters
+    ----------
+    taxonomy:
+        A built (and ideally described) taxonomy.
+    dataset:
+        The query-item dataset providing member item titles.
+    level:
+        The level whose topics are landing candidates (1 = finest).
+    """
+
+    def __init__(
+        self,
+        taxonomy: Taxonomy,
+        dataset: QueryItemDataset,
+        level: int = 1,
+    ) -> None:
+        self.taxonomy = taxonomy
+        self.dataset = dataset
+        self.level = level
+        self._topics: list[Topic] = [
+            t for t in taxonomy.at_level(level) if t.size > 0
+        ]
+        if not self._topics:
+            raise ValueError(f"taxonomy has no non-empty topics at level {level}")
+        docs = []
+        for topic in self._topics:
+            doc: list[str] = []
+            for item in topic.items:
+                doc.extend(dataset.item_titles[int(item)])
+            docs.append(doc)
+        self._bm25 = BM25(docs)
+
+    def route(self, query: str, topn: int = 1) -> list[NavigationResult]:
+        """Best ``topn`` landing topics for a raw query string."""
+        tokens = tokenize(query)
+        if not tokens:
+            raise ValueError("query produced no tokens")
+        ranked = self._bm25.top_documents(tokens, topn=topn)
+        return [self._to_result(index, score) for index, score in ranked]
+
+    def _to_result(self, index: int, score: float) -> NavigationResult:
+        topic = self._topics[index]
+        path = [topic.topic_id]
+        cursor = topic
+        while cursor.parent is not None:
+            path.append(cursor.parent)
+            cursor = self.taxonomy.topics[cursor.parent]
+        siblings: list[str] = []
+        if topic.parent is not None:
+            siblings = [
+                child
+                for child in self.taxonomy.topics[topic.parent].children
+                if child != topic.topic_id
+            ]
+        return NavigationResult(
+            topic_id=topic.topic_id,
+            score=score,
+            path=path,
+            siblings=siblings,
+            items=topic.items,
+        )
+
+    def breadcrumbs(self, query: str) -> list[str]:
+        """Human-readable root->leaf descriptions for the top route."""
+        result = self.route(query, topn=1)[0]
+        names = []
+        for topic_id in reversed(result.path):
+            topic = self.taxonomy.topics[topic_id]
+            names.append(topic.description or topic.topic_id)
+        return names

@@ -1,0 +1,127 @@
+"""HiGNN on query–item graphs (Section V-B).
+
+Differences from the prediction pipeline: query and item features come
+from one word2vec space (so the GNN runs with shared transformation and
+weight matrices, Eqs. 8–11), and per-level cluster counts are selected
+by maximising the Calinski–Harabasz index (Eq. 13) instead of a fixed
+decay schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.hierarchy import HierarchicalEmbeddings
+from repro.core.hignn import HiGNN
+from repro.data.synthetic_text import QueryItemDataset
+from repro.text.word2vec import Word2Vec
+from repro.text.vocab import Vocabulary
+from repro.utils.config import HiGNNConfig, KMeansConfig, SageConfig, TrainConfig
+from repro.utils.rng import derive_rng, ensure_rng
+
+__all__ = ["TaxonomyPipelineConfig", "embed_texts", "fit_query_item_hignn"]
+
+
+@dataclass
+class TaxonomyPipelineConfig:
+    """End-to-end settings for the unsupervised taxonomy pipeline.
+
+    The paper sets L=4 "according to the observation of natural ontology
+    level of items" and embedding dim 32 (Section V-D-2).
+    """
+
+    levels: int = 4
+    embedding_dim: int = 32
+    word2vec_dim: int = 32
+    word2vec_epochs: int = 6
+    word2vec_window: int = 3
+    sage_epochs: int = 35
+    batch_size: int = 256
+    learning_rate: float = 1e-2
+    auto_k: bool = True
+    auto_k_candidates: tuple[int, ...] = ()
+    cluster_decay: float = 4.0
+
+
+def embed_texts(
+    dataset: QueryItemDataset,
+    dim: int = 32,
+    epochs: int = 3,
+    window: int = 3,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, np.ndarray, Word2Vec]:
+    """word2vec features for queries and items in one shared space.
+
+    The model trains on the union of query texts and item titles, so
+    both vocabularies land in the same latent space (Section V-B's
+    precondition for sharing GNN weights).
+    """
+    rng = ensure_rng(rng)
+    corpus = dataset.query_texts + dataset.item_titles
+    vocab = Vocabulary(corpus, min_count=1)
+    model = Word2Vec(vocab, dim=dim, window=window, rng=rng)
+    model.train(corpus, epochs=epochs)
+    query_vecs = np.stack([model.document_vector(t) for t in dataset.query_texts])
+    item_vecs = np.stack([model.document_vector(t) for t in dataset.item_titles])
+    # Remove the common corpus direction (stop-word mass) and normalise
+    # scale: downstream similarity losses need centred geometry, not a
+    # shared offset all documents carry.
+    center = np.concatenate([query_vecs, item_vecs]).mean(axis=0)
+    query_vecs = query_vecs - center
+    item_vecs = item_vecs - center
+    scale = np.sqrt(
+        max(np.mean(np.sum(np.concatenate([query_vecs, item_vecs]) ** 2, axis=1)), 1e-12)
+    )
+    return query_vecs / scale, item_vecs / scale, model
+
+
+def fit_query_item_hignn(
+    dataset: QueryItemDataset,
+    config: TaxonomyPipelineConfig | None = None,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[HierarchicalEmbeddings, Word2Vec]:
+    """Run the full Section V pipeline: word2vec -> shared-space HiGNN.
+
+    Returns the fitted hierarchy over (queries, items) plus the word2vec
+    model (used later for description matching).
+    """
+    config = config or TaxonomyPipelineConfig()
+    rng = ensure_rng(rng)
+    query_vecs, item_vecs, w2v = embed_texts(
+        dataset,
+        dim=config.word2vec_dim,
+        epochs=config.word2vec_epochs,
+        window=config.word2vec_window,
+        rng=derive_rng(rng, 1),
+    )
+    graph = dataset.graph.with_features(query_vecs, item_vecs)
+
+    # With an empty candidate set, HiGNN derives per-level CH candidates
+    # from each level's own vertex count (see HiGNN._cluster).
+    candidates = config.auto_k_candidates
+    hignn_config = HiGNNConfig(
+        levels=config.levels,
+        cluster_decay=config.cluster_decay,
+        initial_user_clusters=1.0 / config.cluster_decay,
+        initial_item_clusters=1.0 / config.cluster_decay,
+        sage=SageConfig(
+            embedding_dim=config.embedding_dim,
+            shared_space=True,
+            negative_samples_user=8,
+            negative_samples_item=8,
+        ),
+        kmeans=KMeansConfig(
+            auto_k=config.auto_k,
+            auto_k_candidates=candidates,
+        ),
+        train=TrainConfig(
+            epochs=config.sage_epochs,
+            batch_size=config.batch_size,
+            learning_rate=config.learning_rate,
+        ),
+    )
+    model = HiGNN(hignn_config, seed=derive_rng(rng, 2))
+    hierarchy = model.fit(graph)
+    return hierarchy, w2v

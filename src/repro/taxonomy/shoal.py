@@ -1,0 +1,107 @@
+"""SHOAL baseline (Li et al., VLDB 2019) — the paper's deployed comparator.
+
+Per the paper's characterisation (Sections II-C and V-D): SHOAL builds a
+hierarchical taxonomy from the query–item graph but "only uses a
+well-defined metric to calculate the query-item embeddings" and performs
+"parallel hierarchical agglomerative clustering" — no trainable GNN.
+
+We implement exactly that: fixed word2vec document vectors (optionally
+smoothed once over the click graph — the "well-defined metric"), cut by
+agglomerative clustering at the same per-level cluster counts HiGNN
+uses, so the comparison isolates the value of trained non-linear
+embeddings (Table VII's question).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.clustering.agglomerative import agglomerative_cluster
+from repro.data.synthetic_text import QueryItemDataset
+from repro.taxonomy.builder import Taxonomy, Topic, _queries_of_items
+from repro.taxonomy.pipeline import embed_texts
+from repro.utils.rng import ensure_rng
+
+__all__ = ["build_shoal_taxonomy"]
+
+
+def build_shoal_taxonomy(
+    dataset: QueryItemDataset,
+    cluster_counts: list[int],
+    linkage: str = "average",
+    graph_smoothing: bool = True,
+    rng: int | np.random.Generator | None = 0,
+) -> Taxonomy:
+    """Agglomerative taxonomy over fixed metric embeddings.
+
+    ``cluster_counts`` gives the item-cluster count per level, finest
+    first (use the same counts as the HiGNN taxonomy for a fair
+    comparison, as the paper does: "we set SHOAL's number of clusters as
+    same as HiGNN's").
+    """
+    if not cluster_counts:
+        raise ValueError("cluster_counts must be non-empty")
+    if any(c < 1 for c in cluster_counts):
+        raise ValueError("cluster counts must be positive")
+    rng = ensure_rng(rng)
+    _, item_vecs, _ = embed_texts(dataset, rng=rng)
+    if graph_smoothing:
+        item_vecs = _smooth_over_graph(dataset, item_vecs)
+
+    taxonomy = Taxonomy(num_levels=len(cluster_counts))
+    graph = dataset.graph
+    level_labels: list[np.ndarray] = []
+    for level, k in enumerate(cluster_counts, start=1):
+        labels = agglomerative_cluster(item_vecs, k, method=linkage)
+        level_labels.append(labels)
+        for cluster in np.unique(labels):
+            items = np.flatnonzero(labels == cluster)
+            topic = Topic(
+                topic_id=f"L{level}C{int(cluster)}",
+                level=level,
+                cluster=int(cluster),
+                items=items,
+                queries=_queries_of_items(graph, items),
+            )
+            taxonomy.topics[topic.topic_id] = topic
+
+    # Parent links: majority vote of members' next-level cluster.  With
+    # single-linkage-style nesting these are exact; with non-nested cuts
+    # the majority keeps the tree consistent.
+    for level in range(1, len(cluster_counts)):
+        fine = level_labels[level - 1]
+        coarse = level_labels[level]
+        for topic in taxonomy.at_level(level):
+            votes = coarse[topic.items]
+            parent_cluster = int(np.bincount(votes).argmax())
+            parent_id = f"L{level + 1}C{parent_cluster}"
+            if parent_id in taxonomy.topics:
+                topic.parent = parent_id
+                taxonomy.topics[parent_id].children.append(topic.topic_id)
+    return taxonomy
+
+
+def _smooth_over_graph(dataset: QueryItemDataset, item_vecs: np.ndarray) -> np.ndarray:
+    """One weighted-average pass of query vectors into item vectors.
+
+    This is SHOAL's 'metric' step: items inherit part of the textual
+    signal of the queries that click into them, with no learning.
+    """
+    graph = dataset.graph
+    query_vecs = np.zeros((graph.num_users, item_vecs.shape[1]))
+    # First, queries as the mean of their own text vector is unavailable
+    # here; approximate by averaging member item vectors.
+    for q in range(graph.num_users):
+        neigh = graph.item_neighbors(q)
+        if len(neigh):
+            weights = graph.item_neighbor_weights(q)
+            query_vecs[q] = np.average(item_vecs[neigh], axis=0, weights=weights)
+    smoothed = item_vecs.copy()
+    for i in range(graph.num_items):
+        neigh = graph.user_neighbors(i)
+        if len(neigh):
+            weights = graph.user_neighbor_weights(i)
+            smoothed[i] = 0.5 * item_vecs[i] + 0.5 * np.average(
+                query_vecs[neigh], axis=0, weights=weights
+            )
+    return smoothed

@@ -1,0 +1,8 @@
+"""Text substrate: tokenisation, vocabulary, word2vec (SGNS), BM25."""
+
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+from repro.text.word2vec import Word2Vec, embed_documents
+from repro.text.bm25 import BM25
+
+__all__ = ["tokenize", "Vocabulary", "Word2Vec", "embed_documents", "BM25"]

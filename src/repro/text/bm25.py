@@ -1,0 +1,67 @@
+"""Okapi BM25 relevance scoring.
+
+Used by the topic-description matcher (Eq. 16): ``rel(q, D_k)`` is the
+BM25 relevance of query ``q`` against the concatenated titles of all
+items in topic ``t_k``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+__all__ = ["BM25"]
+
+
+class BM25:
+    """Okapi BM25 over a fixed list of tokenised documents.
+
+    Parameters follow the classic defaults k1=1.5, b=0.75.  IDF uses the
+    standard +1 smoothing so scores stay non-negative.
+    """
+
+    def __init__(self, documents: list[list[str]], k1: float = 1.5, b: float = 0.75):
+        if not documents:
+            raise ValueError("BM25 requires at least one document")
+        if k1 < 0 or not 0 <= b <= 1:
+            raise ValueError("require k1 >= 0 and 0 <= b <= 1")
+        self.k1 = k1
+        self.b = b
+        self._doc_freqs = [Counter(doc) for doc in documents]
+        self._doc_lens = [len(doc) for doc in documents]
+        self._avg_len = sum(self._doc_lens) / len(documents) or 1.0
+        df: Counter[str] = Counter()
+        for freqs in self._doc_freqs:
+            df.update(freqs.keys())
+        n = len(documents)
+        self._idf = {
+            term: math.log(1.0 + (n - count + 0.5) / (count + 0.5))
+            for term, count in df.items()
+        }
+
+    @property
+    def num_documents(self) -> int:
+        return len(self._doc_freqs)
+
+    def score(self, query: list[str], doc_index: int) -> float:
+        """BM25 score of ``query`` against document ``doc_index``."""
+        freqs = self._doc_freqs[doc_index]
+        length = self._doc_lens[doc_index]
+        norm = self.k1 * (1.0 - self.b + self.b * length / self._avg_len)
+        total = 0.0
+        for term in query:
+            tf = freqs.get(term, 0)
+            if tf == 0:
+                continue
+            idf = self._idf.get(term, 0.0)
+            total += idf * tf * (self.k1 + 1.0) / (tf + norm)
+        return total
+
+    def scores(self, query: list[str]) -> list[float]:
+        """Score ``query`` against every document."""
+        return [self.score(query, i) for i in range(self.num_documents)]
+
+    def top_documents(self, query: list[str], topn: int = 5) -> list[tuple[int, float]]:
+        """Indices and scores of the ``topn`` best-matching documents."""
+        ranked = sorted(enumerate(self.scores(query)), key=lambda p: -p[1])
+        return ranked[:topn]

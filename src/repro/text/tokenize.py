@@ -1,0 +1,23 @@
+"""Whitespace/punctuation tokenisation for query and item-title text."""
+
+from __future__ import annotations
+
+import re
+
+__all__ = ["tokenize"]
+
+_TOKEN_RE = re.compile(r"[a-z0-9_]+(?:'[a-z]+)?")
+
+
+def tokenize(text: str) -> list[str]:
+    """Lowercase and split on non-word characters.
+
+    Underscores stay inside tokens (SKU-style identifiers like
+    ``shoe_42`` are single terms in e-commerce corpora).
+
+    >>> tokenize("Beach-Dress, SPF 50 sunblock!")
+    ['beach', 'dress', 'spf', '50', 'sunblock']
+    >>> tokenize("shoe_42 SHOE_42")
+    ['shoe_42', 'shoe_42']
+    """
+    return _TOKEN_RE.findall(text.lower())

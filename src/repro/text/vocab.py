@@ -1,0 +1,60 @@
+"""Vocabulary: token <-> id mapping with frequency-based pruning."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable
+
+__all__ = ["Vocabulary"]
+
+
+class Vocabulary:
+    """Immutable token index built from a corpus.
+
+    Tokens below ``min_count`` are dropped; lookups of unknown tokens
+    return ``None`` from :meth:`get` or raise from :meth:`__getitem__`.
+    Ids are assigned by descending frequency (ties broken
+    lexicographically) so id 0 is always the most frequent token —
+    convenient for frequency-aware downstream code.
+    """
+
+    def __init__(self, documents: Iterable[list[str]], min_count: int = 1) -> None:
+        if min_count < 1:
+            raise ValueError("min_count must be >= 1")
+        counts: Counter[str] = Counter()
+        for doc in documents:
+            counts.update(doc)
+        kept = [(tok, c) for tok, c in counts.items() if c >= min_count]
+        kept.sort(key=lambda pair: (-pair[1], pair[0]))
+        self._tokens = [tok for tok, _ in kept]
+        self._index = {tok: i for i, tok in enumerate(self._tokens)}
+        self._counts = {tok: c for tok, c in kept}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._index
+
+    def __getitem__(self, token: str) -> int:
+        return self._index[token]
+
+    def get(self, token: str) -> int | None:
+        return self._index.get(token)
+
+    def token(self, index: int) -> str:
+        return self._tokens[index]
+
+    def count(self, token: str) -> int:
+        return self._counts.get(token, 0)
+
+    @property
+    def tokens(self) -> list[str]:
+        return list(self._tokens)
+
+    def encode(self, doc: list[str]) -> list[int]:
+        """Token ids of ``doc``, silently dropping out-of-vocabulary tokens."""
+        return [self._index[t] for t in doc if t in self._index]
+
+    def decode(self, ids: list[int]) -> list[str]:
+        return [self._tokens[i] for i in ids]

@@ -1,0 +1,176 @@
+"""Skip-gram word2vec with negative sampling (Mikolov et al., 2013).
+
+The taxonomy variant of HiGNN (Section V-B) embeds query and item-title
+tokens "into the same latent space" with word2vec before the GNN stage.
+This is a compact numpy implementation of skip-gram negative sampling
+(SGNS) with the standard deg^0.75 noise distribution, sufficient for the
+mini-corpus scale of the reproduction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+from repro.utils.rng import ensure_rng
+
+__all__ = ["Word2Vec", "embed_documents"]
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+class Word2Vec:
+    """Skip-gram negative-sampling embeddings.
+
+    Parameters
+    ----------
+    vocab:
+        The :class:`Vocabulary` the model embeds.
+    dim:
+        Embedding dimensionality (the paper uses 32 throughout).
+    window:
+        Max distance between centre and context tokens.
+    negatives:
+        Noise samples per positive pair.
+    """
+
+    def __init__(
+        self,
+        vocab: Vocabulary,
+        dim: int = 32,
+        window: int = 3,
+        negatives: int = 5,
+        rng: int | np.random.Generator | None = None,
+    ) -> None:
+        if dim <= 0:
+            raise ValueError("dim must be positive")
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        if negatives < 1:
+            raise ValueError("negatives must be >= 1")
+        self.vocab = vocab
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.rng = ensure_rng(rng)
+        n = len(vocab)
+        if n == 0:
+            raise ValueError("vocabulary is empty")
+        self.in_vectors = (self.rng.random((n, dim)) - 0.5) / dim
+        self.out_vectors = np.zeros((n, dim))
+        freqs = np.array([vocab.count(vocab.token(i)) for i in range(n)], dtype=float)
+        noise = freqs**0.75
+        self._noise_probs = noise / noise.sum()
+
+    def train(
+        self,
+        documents: list[list[str]],
+        epochs: int = 3,
+        lr: float = 0.025,
+        min_lr: float = 0.005,
+        subsample: float = 1e-3,
+    ) -> float:
+        """Train on tokenised documents; returns the final mean pair loss.
+
+        ``subsample`` applies word2vec's frequency subsampling: token t
+        is kept with probability min(1, sqrt(subsample / f(t))) where
+        f(t) is its corpus frequency — without it, ubiquitous filler
+        words dominate every document vector.
+        """
+        encoded = [self.vocab.encode(doc) for doc in documents]
+        if subsample and subsample > 0:
+            total = sum(self.vocab.count(t) for t in self.vocab.tokens) or 1
+            keep_prob = np.ones(len(self.vocab))
+            for idx in range(len(self.vocab)):
+                freq = self.vocab.count(self.vocab.token(idx)) / total
+                if freq > subsample:
+                    keep_prob[idx] = np.sqrt(subsample / freq)
+            encoded = [
+                [t for t in doc if self.rng.random() < keep_prob[t]]
+                for doc in encoded
+            ]
+        encoded = [doc for doc in encoded if len(doc) >= 2]
+        if not encoded:
+            raise ValueError("no trainable documents after vocabulary filtering")
+        total_steps = max(1, epochs * sum(len(d) for d in encoded))
+        step = 0
+        last_loss = 0.0
+        for _ in range(epochs):
+            order = self.rng.permutation(len(encoded))
+            for doc_idx in order:
+                doc = encoded[doc_idx]
+                for pos, center in enumerate(doc):
+                    cur_lr = max(min_lr, lr * (1.0 - step / total_steps))
+                    step += 1
+                    span = self.rng.integers(1, self.window + 1)
+                    lo = max(0, pos - span)
+                    hi = min(len(doc), pos + span + 1)
+                    for ctx_pos in range(lo, hi):
+                        if ctx_pos == pos:
+                            continue
+                        last_loss = self._update_pair(center, doc[ctx_pos], cur_lr)
+        return last_loss
+
+    def _update_pair(self, center: int, context: int, lr: float) -> float:
+        negatives = self.rng.choice(
+            len(self._noise_probs), size=self.negatives, p=self._noise_probs
+        )
+        targets = np.concatenate([[context], negatives])
+        labels = np.zeros(len(targets))
+        labels[0] = 1.0
+        v_in = self.in_vectors[center]
+        v_out = self.out_vectors[targets]
+        scores = _sigmoid(v_out @ v_in)
+        errors = scores - labels
+        grad_in = errors @ v_out
+        self.out_vectors[targets] -= lr * np.outer(errors, v_in)
+        self.in_vectors[center] -= lr * grad_in
+        eps = 1e-10
+        return float(
+            -np.log(scores[0] + eps) - np.sum(np.log(1.0 - scores[1:] + eps))
+        )
+
+    def vector(self, token: str) -> np.ndarray:
+        """Embedding of ``token``; raises ``KeyError`` if unknown."""
+        return self.in_vectors[self.vocab[token]]
+
+    def document_vector(self, doc: list[str]) -> np.ndarray:
+        """Mean of in-vectors over in-vocabulary tokens (zeros if none)."""
+        ids = self.vocab.encode(doc)
+        if not ids:
+            return np.zeros(self.dim)
+        return self.in_vectors[ids].mean(axis=0)
+
+    def most_similar(self, token: str, topn: int = 5) -> list[tuple[str, float]]:
+        """Nearest tokens by cosine similarity."""
+        query = self.vector(token)
+        norms = np.linalg.norm(self.in_vectors, axis=1) * (np.linalg.norm(query) + 1e-12)
+        sims = self.in_vectors @ query / np.maximum(norms, 1e-12)
+        order = np.argsort(sims)[::-1]
+        results = []
+        for idx in order:
+            name = self.vocab.token(int(idx))
+            if name == token:
+                continue
+            results.append((name, float(sims[idx])))
+            if len(results) == topn:
+                break
+        return results
+
+
+def embed_documents(
+    documents: list[list[str]],
+    dim: int = 32,
+    epochs: int = 3,
+    window: int = 3,
+    min_count: int = 1,
+    rng: int | np.random.Generator | None = None,
+) -> tuple[np.ndarray, Word2Vec]:
+    """Train SGNS on ``documents`` and return per-document mean vectors."""
+    vocab = Vocabulary(documents, min_count=min_count)
+    model = Word2Vec(vocab, dim=dim, window=window, rng=rng)
+    model.train(documents, epochs=epochs)
+    matrix = np.stack([model.document_vector(doc) for doc in documents])
+    return matrix, model

@@ -1,0 +1,25 @@
+"""Shared utilities: RNG management, configuration, logging, timing."""
+
+from repro.utils.rng import RngMixin, derive_rng, ensure_rng
+from repro.utils.config import (
+    HiGNNConfig,
+    KMeansConfig,
+    SageConfig,
+    TrainConfig,
+)
+from repro.utils.logging import get_logger
+from repro.utils.timer import Timer
+from repro.utils.tables import format_table
+
+__all__ = [
+    "RngMixin",
+    "derive_rng",
+    "ensure_rng",
+    "HiGNNConfig",
+    "KMeansConfig",
+    "SageConfig",
+    "TrainConfig",
+    "get_logger",
+    "Timer",
+    "format_table",
+]

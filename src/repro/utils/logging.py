@@ -1,0 +1,24 @@
+"""Library-wide logging helpers.
+
+The library never configures the root logger; it only attaches a
+``NullHandler`` so downstream applications stay in control of log output.
+``get_logger`` namespaces everything under ``repro.``.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return the logger ``repro.<name>`` (or ``repro`` for empty name)."""
+    if not name:
+        return _ROOT
+    if name.startswith("repro.") or name == "repro":
+        return logging.getLogger(name)
+    return logging.getLogger(f"repro.{name}")

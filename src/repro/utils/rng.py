@@ -1,0 +1,47 @@
+"""Deterministic random-number-generator plumbing.
+
+Every stochastic component in the library accepts either an integer seed
+or a ``numpy.random.Generator``.  Components never touch the global numpy
+RNG, so independent pipeline stages stay reproducible even when they are
+re-ordered or run in isolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["ensure_rng", "derive_rng", "RngMixin"]
+
+
+def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a ``numpy.random.Generator`` for ``seed``.
+
+    ``None`` yields a freshly seeded generator (non-deterministic); an
+    integer seeds a new generator; an existing generator is returned
+    unchanged so callers can thread one RNG through a pipeline.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def derive_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when one seed must fan out into several independent streams
+    (e.g. model init vs. negative sampling) without coupling their state.
+    ``keys`` disambiguate multiple children derived from the same parent.
+    """
+    seed_material = list(rng.integers(0, 2**63 - 1, size=2)) + list(keys)
+    return np.random.default_rng(np.random.SeedSequence(seed_material))
+
+
+class RngMixin:
+    """Mixin giving a class a lazily created ``self.rng`` attribute."""
+
+    def __init__(self, seed: int | np.random.Generator | None = None) -> None:
+        self.rng = ensure_rng(seed)
+
+    def reseed(self, seed: int | np.random.Generator | None) -> None:
+        """Replace the internal generator (e.g. between experiment runs)."""
+        self.rng = ensure_rng(seed)

@@ -1,0 +1,33 @@
+"""Plain-text table formatting for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a padded ``header | header`` table with a separator rule.
+
+    >>> print(format_table(["a", "b"], [[1, 22]]))
+    a | b
+    --+---
+    1 | 22
+    """
+    if not headers:
+        raise ValueError("headers must be non-empty")
+    str_rows = [[str(v) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("every row must match the header width")
+    widths = [
+        max(len(headers[c]), *(len(r[c]) for r in str_rows)) if str_rows else len(headers[c])
+        for c in range(len(headers))
+    ]
+
+    def fmt(row: Sequence[str]) -> str:
+        return " | ".join(str(v).ljust(w) for v, w in zip(row, widths)).rstrip()
+
+    rule = "-+-".join("-" * w for w in widths)
+    return "\n".join([fmt(headers), rule] + [fmt(r) for r in str_rows])

@@ -1,0 +1,36 @@
+"""A tiny wall-clock timer used by the benchmark harness."""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock seconds.
+
+    Example::
+
+        with Timer() as t:
+            expensive()
+        print(t.elapsed)
+    """
+
+    def __init__(self) -> None:
+        self.start: float | None = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self.start is not None:
+            self.elapsed = time.perf_counter() - self.start
+
+    def lap(self) -> float:
+        """Seconds since ``__enter__`` without stopping the timer."""
+        if self.start is None:
+            raise RuntimeError("Timer.lap() called outside context")
+        return time.perf_counter() - self.start

@@ -1,0 +1,73 @@
+"""Hierarchical agglomerative clustering (SHOAL's engine)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.agglomerative import agglomerative_cluster, agglomerative_levels
+
+
+def _blobs(seed=0):
+    rng = np.random.default_rng(seed)
+    return np.vstack(
+        [rng.normal(size=(15, 2)) * 0.2 + offset for offset in ([0, 0], [8, 0], [0, 8])]
+    )
+
+
+class TestAgglomerative:
+    def test_recovers_blobs(self):
+        points = _blobs()
+        labels = agglomerative_cluster(points, 3)
+        truth = np.repeat(np.arange(3), 15)
+        # purity
+        total = sum(np.bincount(truth[labels == c]).max() for c in np.unique(labels))
+        assert total / len(truth) > 0.95
+
+    def test_labels_dense(self):
+        labels = agglomerative_cluster(_blobs(), 4)
+        assert set(labels) == set(range(len(set(labels))))
+
+    def test_k_clamped(self):
+        points = np.ones((3, 2))
+        labels = agglomerative_cluster(points, 10)
+        assert len(labels) == 3
+
+    def test_single_point(self):
+        assert np.array_equal(agglomerative_cluster(np.ones((1, 2)), 1), [0])
+
+    def test_k_equals_n(self):
+        labels = agglomerative_cluster(np.arange(6, dtype=float).reshape(3, 2), 3)
+        assert len(set(labels)) == 3
+
+    def test_unknown_linkage(self):
+        with pytest.raises(ValueError):
+            agglomerative_cluster(_blobs(), 2, method="centroid-ish")
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            agglomerative_cluster(np.zeros((0, 2)), 2)
+
+    def test_ward_linkage_works(self):
+        labels = agglomerative_cluster(_blobs(), 3, method="ward")
+        assert len(set(labels)) == 3
+
+
+class TestLevels:
+    def test_multiple_cuts(self):
+        points = _blobs()
+        levels = agglomerative_levels(points, [6, 3, 1])
+        assert len(levels) == 3
+        assert len(set(levels[0])) == 6
+        assert len(set(levels[1])) == 3
+        assert len(set(levels[2])) == 1
+
+    def test_cuts_are_nested(self):
+        # Coarser cuts of one dendrogram never split a finer cluster.
+        points = _blobs(seed=1)
+        fine, coarse = agglomerative_levels(points, [6, 2])
+        for c in np.unique(fine):
+            members = coarse[fine == c]
+            assert len(np.unique(members)) == 1
+
+    def test_empty_counts_raise(self):
+        with pytest.raises(ValueError):
+            agglomerative_levels(_blobs(), [])

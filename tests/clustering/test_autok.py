@@ -1,0 +1,46 @@
+"""CH-guided cluster-count selection (Eq. 13)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.autok import cluster_with_auto_k, select_k
+
+
+def _blobs(k, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=10.0, size=(k, 3))
+    return np.concatenate(
+        [c + rng.normal(scale=0.3, size=(25, 3)) for c in centers]
+    )
+
+
+class TestSelectK:
+    def test_finds_true_k(self):
+        points = _blobs(4)
+        best, scores = select_k(points, [2, 3, 4, 5, 6], rng=0)
+        assert best == 4
+        assert scores[4] == max(scores.values())
+
+    def test_degenerate_candidates_score_zero(self):
+        points = _blobs(2)
+        _, scores = select_k(points, [1, 2, len(points) + 5], rng=0)
+        assert scores[1] == 0.0
+        assert scores[len(points) + 5] == 0.0
+
+    def test_empty_candidates_raise(self):
+        with pytest.raises(ValueError):
+            select_k(_blobs(2), [])
+
+    def test_deterministic(self):
+        points = _blobs(3, seed=2)
+        a, _ = select_k(points, [2, 3, 4], rng=9)
+        b, _ = select_k(points, [2, 3, 4], rng=9)
+        assert a == b
+
+
+class TestClusterWithAutoK:
+    def test_returns_fit_with_best_k(self):
+        points = _blobs(3)
+        result = cluster_with_auto_k(points, [2, 3, 4, 5], rng=0)
+        assert result.n_clusters == 3
+        assert len(result.labels) == len(points)

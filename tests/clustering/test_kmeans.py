@@ -1,0 +1,131 @@
+"""K-means variants: quality, invariants, and degenerate inputs."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.clustering.kmeans import assign_to_centers, kmeans, kmeans_plus_plus
+from repro.utils.config import KMeansConfig
+
+
+def _blobs(n_per=30, k=3, dim=4, spread=0.3, seed=0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=5.0, size=(k, dim))
+    points = np.concatenate(
+        [centers[i] + rng.normal(scale=spread, size=(n_per, dim)) for i in range(k)]
+    )
+    labels = np.repeat(np.arange(k), n_per)
+    return points, labels
+
+
+def _agreement(pred, truth):
+    """Best-case label agreement via majority mapping (purity)."""
+    total = 0
+    for c in np.unique(pred):
+        members = truth[pred == c]
+        total += np.bincount(members).max()
+    return total / len(truth)
+
+
+ALGOS = ["lloyd", "minibatch", "single_pass"]
+
+
+class TestQuality:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_recovers_blobs(self, algorithm):
+        points, truth = _blobs()
+        result = kmeans(points, 3, KMeansConfig(algorithm=algorithm), rng=0)
+        assert _agreement(result.labels, truth) > 0.9
+
+    def test_lloyd_at_least_as_good_as_single_pass(self):
+        points, _ = _blobs(seed=3)
+        lloyd = kmeans(points, 3, KMeansConfig(algorithm="lloyd"), rng=0)
+        single = kmeans(points, 3, KMeansConfig(algorithm="single_pass"), rng=0)
+        assert lloyd.inertia <= single.inertia * 1.2
+
+    def test_n_init_improves_or_ties(self):
+        points, _ = _blobs(k=4, seed=5)
+        one = kmeans(points, 4, KMeansConfig(n_init=1), rng=7)
+        many = kmeans(points, 4, KMeansConfig(n_init=5), rng=7)
+        assert many.inertia <= one.inertia + 1e-9
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("algorithm", ALGOS)
+    def test_labels_match_nearest_center(self, algorithm):
+        points, _ = _blobs()
+        result = kmeans(points, 3, KMeansConfig(algorithm=algorithm), rng=0)
+        relabeled, inertia = assign_to_centers(points, result.centers)
+        assert np.array_equal(relabeled, result.labels)
+        assert inertia == pytest.approx(result.inertia)
+
+    def test_labels_dense_range(self):
+        points, _ = _blobs()
+        result = kmeans(points, 3, rng=0)
+        assert result.labels.min() >= 0
+        assert result.labels.max() < result.n_clusters
+
+    def test_deterministic_given_seed(self):
+        points, _ = _blobs()
+        a = kmeans(points, 3, rng=11)
+        b = kmeans(points, 3, rng=11)
+        assert np.array_equal(a.labels, b.labels)
+
+
+class TestDegenerate:
+    def test_k_clamped_to_distinct_points(self):
+        points = np.zeros((10, 2))
+        result = kmeans(points, 5, rng=0)
+        assert result.n_clusters == 1
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_k_equals_n(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        result = kmeans(points, 4, rng=0)
+        assert result.n_clusters == 4
+        assert result.inertia == pytest.approx(0.0)
+
+    def test_single_point(self):
+        result = kmeans(np.array([[1.0, 2.0]]), 3, rng=0)
+        assert result.n_clusters == 1
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            kmeans(np.zeros((0, 2)), 2)
+
+    def test_bad_k_raises(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones((3, 2)), 0)
+
+    def test_1d_points_raise(self):
+        with pytest.raises(ValueError):
+            kmeans(np.ones(5), 2)
+
+    def test_empty_cluster_reseeded(self):
+        # Outlier far away forces a potential empty cluster on re-assign.
+        points = np.vstack([np.zeros((20, 2)), np.ones((20, 2)), [[100.0, 100.0]]])
+        result = kmeans(points, 3, KMeansConfig(algorithm="lloyd"), rng=0)
+        assert len(np.unique(result.labels)) == 3
+
+
+class TestSeeding:
+    def test_plus_plus_spreads_centers(self):
+        points, _ = _blobs(k=3, spread=0.1, seed=2)
+        centers = kmeans_plus_plus(points, 3, np.random.default_rng(0))
+        dists = [
+            np.linalg.norm(centers[i] - centers[j])
+            for i in range(3)
+            for j in range(i + 1, 3)
+        ]
+        assert min(dists) > 1.0  # blob centers are ~5 apart
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 200), k=st.integers(1, 6))
+def test_property_inertia_nonnegative_and_centers_finite(seed, k):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(25, 3))
+    result = kmeans(points, k, rng=rng)
+    assert result.inertia >= 0
+    assert np.all(np.isfinite(result.centers))
+    assert len(result.labels) == 25

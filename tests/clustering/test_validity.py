@@ -1,0 +1,75 @@
+"""Cluster validity indices (incl. Eq. 13's Calinski–Harabasz)."""
+
+import numpy as np
+import pytest
+
+from repro.clustering.validity import calinski_harabasz, davies_bouldin, silhouette
+
+
+def _separated(seed=0, spread=0.2):
+    rng = np.random.default_rng(seed)
+    a = rng.normal(size=(20, 3)) * spread
+    b = rng.normal(size=(20, 3)) * spread + 10.0
+    points = np.vstack([a, b])
+    labels = np.repeat([0, 1], 20)
+    return points, labels
+
+
+class TestCalinskiHarabasz:
+    def test_separated_beats_random_labels(self):
+        points, labels = _separated()
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(labels)
+        assert calinski_harabasz(points, labels) > calinski_harabasz(points, shuffled)
+
+    def test_single_cluster_zero(self):
+        points, _ = _separated()
+        assert calinski_harabasz(points, np.zeros(len(points), dtype=int)) == 0.0
+
+    def test_perfect_separation_large(self):
+        points, labels = _separated(spread=0.01)
+        assert calinski_harabasz(points, labels) > 1000
+
+    def test_matches_formula_small_case(self):
+        points = np.array([[0.0], [1.0], [10.0], [11.0]])
+        labels = np.array([0, 0, 1, 1])
+        # between = 2*(0.5-5.5)^2 + 2*(10.5-5.5)^2 = 100; within = 0.5+0.5=1
+        expected = (100.0 / 1.0) * ((4 - 2) / (2 - 1))
+        assert calinski_harabasz(points, labels) == pytest.approx(expected)
+
+    def test_mismatched_shapes_raise(self):
+        with pytest.raises(ValueError):
+            calinski_harabasz(np.ones((3, 2)), np.zeros(2, dtype=int))
+
+
+class TestDaviesBouldin:
+    def test_lower_for_separated(self):
+        points, labels = _separated()
+        rng = np.random.default_rng(0)
+        shuffled = rng.permutation(labels)
+        assert davies_bouldin(points, labels) < davies_bouldin(points, shuffled)
+
+    def test_single_cluster_zero(self):
+        points, _ = _separated()
+        assert davies_bouldin(points, np.zeros(len(points), dtype=int)) == 0.0
+
+
+class TestSilhouette:
+    def test_range(self):
+        points, labels = _separated()
+        value = silhouette(points, labels)
+        assert -1.0 <= value <= 1.0
+
+    def test_separated_near_one(self):
+        points, labels = _separated(spread=0.01)
+        assert silhouette(points, labels) > 0.95
+
+    def test_random_labels_near_zero(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(40, 3))
+        labels = rng.integers(0, 2, 40)
+        assert abs(silhouette(points, labels)) < 0.2
+
+    def test_single_cluster_zero(self):
+        points, _ = _separated()
+        assert silhouette(points, np.zeros(len(points), dtype=int)) == 0.0

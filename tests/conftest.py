@@ -1,0 +1,48 @@
+"""Shared fixtures.
+
+Expensive artifacts (datasets, fitted hierarchies) are session-scoped so
+the suite stays fast while many test modules can exercise them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import load_dataset, load_query_dataset
+from repro.graph.generators import block_bipartite, random_bipartite
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """The tiny mini-taobao1 preset (shared, treat as read-only)."""
+    return load_dataset("mini-taobao1", size="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_cold_dataset():
+    return load_dataset("mini-taobao2", size="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def tiny_query_dataset():
+    return load_query_dataset(size="tiny", seed=0)
+
+
+@pytest.fixture(scope="session")
+def block_graph():
+    """Stochastic block bipartite graph with planted co-communities."""
+    graph, user_blocks, item_blocks = block_bipartite(
+        n_blocks=3, users_per_block=15, items_per_block=12, p_in=0.4, p_out=0.02, rng=0
+    )
+    return graph, user_blocks, item_blocks
+
+
+@pytest.fixture()
+def small_random_graph():
+    return random_bipartite(20, 15, 60, feature_dim=6, rng=1)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

@@ -1,0 +1,91 @@
+"""Unsupervised-embedding diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import (
+    cluster_purity,
+    item_retrieval_recall,
+    link_prediction_auc,
+    normalized_mutual_information,
+)
+from repro.graph.generators import block_bipartite, random_bipartite
+
+
+@pytest.fixture(scope="module")
+def planted():
+    graph, user_blocks, item_blocks = block_bipartite(
+        n_blocks=3, users_per_block=12, items_per_block=10, p_in=0.5, p_out=0.02, rng=0
+    )
+    # Ideal embeddings: block one-hot vectors.
+    zu = np.eye(3)[user_blocks] * 3.0
+    zi = np.eye(3)[item_blocks] * 3.0
+    return graph, zu, zi, user_blocks
+
+
+class TestLinkPrediction:
+    def test_ideal_embeddings_score_high(self, planted):
+        graph, zu, zi, _ = planted
+        # Block one-hots cannot rank within-block pairs, so the ceiling is
+        # set by the planted block structure (~0.8), far above chance.
+        assert link_prediction_auc(graph, zu, zi, rng=0) > 0.75
+
+    def test_random_embeddings_near_half(self, planted):
+        graph, zu, zi, _ = planted
+        rng = np.random.default_rng(0)
+        value = link_prediction_auc(
+            graph, rng.normal(size=zu.shape), rng.normal(size=zi.shape), rng=1
+        )
+        assert 0.3 < value < 0.7
+
+    def test_empty_graph_raises(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        g = BipartiteGraph(2, 2, np.zeros((0, 2), dtype=int))
+        with pytest.raises(ValueError):
+            link_prediction_auc(g, np.ones((2, 2)), np.ones((2, 2)))
+
+
+class TestRetrieval:
+    def test_ideal_embeddings_beat_random(self, planted):
+        graph, zu, zi, _ = planted
+        good = item_retrieval_recall(graph, zu, zi, k=10, rng=0)
+        rng = np.random.default_rng(1)
+        bad = item_retrieval_recall(
+            graph, rng.normal(size=zu.shape), rng.normal(size=zi.shape), k=10, rng=0
+        )
+        assert good > bad
+
+
+class TestClusterScores:
+    def test_purity_perfect(self):
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_purity(labels, labels) == 1.0
+
+    def test_purity_permutation_invariant(self):
+        ref = np.array([0, 0, 1, 1])
+        labels = np.array([1, 1, 0, 0])
+        assert cluster_purity(labels, ref) == 1.0
+
+    def test_purity_mixed(self):
+        ref = np.array([0, 1, 0, 1])
+        labels = np.array([0, 0, 0, 0])
+        assert cluster_purity(labels, ref) == 0.5
+
+    def test_nmi_perfect_and_independent(self):
+        ref = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(ref, ref) == pytest.approx(1.0)
+        # Single-cluster labelling carries zero information.
+        assert normalized_mutual_information(np.zeros(6, dtype=int), ref) == 0.0
+
+    def test_nmi_shape_check(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.zeros(3, dtype=int), np.zeros(4, dtype=int))
+
+    def test_nmi_symmetric(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 60)
+        b = rng.integers(0, 4, 60)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a), abs=1e-9
+        )

@@ -1,0 +1,117 @@
+"""HierarchicalEmbeddings: membership chains and z^H concatenation."""
+
+import numpy as np
+import pytest
+
+from repro.core.hierarchy import HierarchicalEmbeddings, LevelRecord
+from repro.graph.bipartite import BipartiteGraph
+
+
+def _graph(nu, ni):
+    return BipartiteGraph(nu, ni, np.array([[0, 0]]))
+
+
+def _hierarchy():
+    """Hand-built 2-level hierarchy: 6 users / 4 items -> 3x2 -> 2x1."""
+    level1 = LevelRecord(
+        level=1,
+        graph=_graph(6, 4),
+        user_embeddings=np.arange(12, dtype=float).reshape(6, 2),
+        item_embeddings=np.arange(8, dtype=float).reshape(4, 2),
+        user_assignment=np.array([0, 0, 1, 1, 2, 2]),
+        item_assignment=np.array([0, 0, 1, 1]),
+        coarse_graph=_graph(3, 2),
+    )
+    level2 = LevelRecord(
+        level=2,
+        graph=_graph(3, 2),
+        user_embeddings=np.array([[100.0, 0], [200.0, 0], [300.0, 0]]),
+        item_embeddings=np.array([[10.0, 1], [20.0, 1]]),
+        user_assignment=np.array([0, 0, 1]),
+        item_assignment=np.array([0, 0]),
+        coarse_graph=_graph(2, 1),
+    )
+    return HierarchicalEmbeddings(levels=[level1, level2])
+
+
+class TestMembership:
+    def test_level1_identity(self):
+        h = _hierarchy()
+        assert np.array_equal(h.user_membership(1), np.arange(6))
+        assert np.array_equal(h.item_membership(1), np.arange(4))
+
+    def test_level2_composition(self):
+        h = _hierarchy()
+        assert np.array_equal(h.user_membership(2), [0, 0, 1, 1, 2, 2])
+        assert np.array_equal(h.item_membership(2), [0, 0, 1, 1])
+
+    def test_out_of_range_level(self):
+        h = _hierarchy()
+        with pytest.raises(ValueError):
+            h.user_membership(0)
+        with pytest.raises(ValueError):
+            h.user_membership(3)
+
+    def test_empty_hierarchy_raises(self):
+        with pytest.raises(ValueError):
+            HierarchicalEmbeddings().user_membership(1)
+
+
+class TestLevelEmbeddings:
+    def test_level1_direct(self):
+        h = _hierarchy()
+        z = h.user_level_embeddings(1)
+        assert np.allclose(z, np.arange(12).reshape(6, 2))
+
+    def test_level2_via_cluster(self):
+        h = _hierarchy()
+        z = h.user_level_embeddings(2)
+        assert np.allclose(z[:, 0], [100, 100, 200, 200, 300, 300])
+
+    def test_item_side(self):
+        h = _hierarchy()
+        z = h.item_level_embeddings(2)
+        assert np.allclose(z[:, 0], [10, 10, 20, 20])
+
+
+class TestHierarchicalConcat:
+    def test_full_concat_shape(self):
+        h = _hierarchy()
+        zu = h.hierarchical_user_embeddings()
+        assert zu.shape == (6, 4)
+        zi = h.hierarchical_item_embeddings()
+        assert zi.shape == (4, 4)
+
+    def test_max_level_truncation(self):
+        h = _hierarchy()
+        zu = h.hierarchical_user_embeddings(max_level=1)
+        assert zu.shape == (6, 2)
+        assert np.allclose(zu, h.user_level_embeddings(1))
+
+    def test_level_blocks_ordered(self):
+        h = _hierarchy()
+        zu = h.hierarchical_user_embeddings()
+        assert np.allclose(zu[:, :2], h.user_level_embeddings(1))
+        assert np.allclose(zu[:, 2:], h.user_level_embeddings(2))
+
+
+class TestClusterViews:
+    def test_item_clusters_level1(self):
+        h = _hierarchy()
+        clusters = h.item_clusters_at_level(1)
+        assert set(clusters) == {0, 1}
+        assert np.array_equal(clusters[0], [0, 1])
+        assert np.array_equal(clusters[1], [2, 3])
+
+    def test_user_clusters_level2(self):
+        h = _hierarchy()
+        clusters = h.user_clusters_at_level(2)
+        assert np.array_equal(clusters[0], [0, 1, 2, 3])
+        assert np.array_equal(clusters[1], [4, 5])
+
+    def test_clusters_partition_items(self):
+        h = _hierarchy()
+        for level in (1, 2):
+            clusters = h.item_clusters_at_level(level)
+            combined = np.sort(np.concatenate(list(clusters.values())))
+            assert np.array_equal(combined, np.arange(4))

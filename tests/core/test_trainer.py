@@ -1,0 +1,97 @@
+"""Unsupervised GraphSAGE training on planted-structure graphs."""
+
+import numpy as np
+import pytest
+
+from repro.core.sage import BipartiteGraphSAGE
+from repro.core.trainer import SageTrainer
+from repro.utils.config import SageConfig, TrainConfig
+
+
+@pytest.fixture(scope="module")
+def trained(block_graph_module):
+    graph, user_blocks, item_blocks = block_graph_module
+    cfg = SageConfig(embedding_dim=8, neighbor_samples=(5, 3))
+    module = BipartiteGraphSAGE(
+        graph.user_features.shape[1], graph.item_features.shape[1], cfg, rng=0
+    )
+    trainer = SageTrainer(
+        module, graph, TrainConfig(epochs=8, batch_size=128, learning_rate=5e-3), rng=0
+    )
+    result = trainer.fit()
+    return graph, user_blocks, item_blocks, module, result
+
+
+@pytest.fixture(scope="module")
+def block_graph_module():
+    from repro.graph.generators import block_bipartite
+
+    return block_bipartite(
+        n_blocks=3, users_per_block=15, items_per_block=12, p_in=0.4, p_out=0.02, rng=0
+    )
+
+
+class TestTraining:
+    def test_loss_decreases(self, trained):
+        *_, result = trained
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_loss_history_length(self, trained):
+        *_, result = trained
+        assert len(result.epoch_losses) == 8
+
+    def test_embeddings_separate_blocks(self, trained):
+        graph, user_blocks, _, module, _ = trained
+        zu, _ = module.embed_all(graph)
+        centroids = np.stack([zu[user_blocks == b].mean(axis=0) for b in range(3)])
+        within = float(np.mean([zu[user_blocks == b].std() for b in range(3)]))
+        between = float(
+            np.mean(
+                [
+                    np.linalg.norm(centroids[i] - centroids[j])
+                    for i in range(3)
+                    for j in range(i + 1, 3)
+                ]
+            )
+        )
+        assert between > within
+
+    def test_positive_pairs_score_above_negatives(self, trained):
+        graph, *_, module, _ = trained
+        zu, zi = module.embed_all(graph)
+        pos = np.mean(
+            [zu[u] @ zi[i] for u, i in graph.edges[:100]]
+        )
+        rng = np.random.default_rng(0)
+        neg = np.mean(
+            [
+                zu[rng.integers(graph.num_users)] @ zi[rng.integers(graph.num_items)]
+                for _ in range(100)
+            ]
+        )
+        assert pos > neg
+
+    def test_zero_epochs_is_noop(self, block_graph_module):
+        graph, *_ = block_graph_module
+        cfg = SageConfig(embedding_dim=4)
+        module = BipartiteGraphSAGE(
+            graph.user_features.shape[1], graph.item_features.shape[1], cfg, rng=0
+        )
+        result = SageTrainer(module, graph, TrainConfig(epochs=0), rng=0).fit()
+        assert result.epoch_losses == []
+        assert np.isnan(result.final_loss)
+
+    def test_deterministic_given_seed(self, block_graph_module):
+        graph, *_ = block_graph_module
+
+        def run():
+            cfg = SageConfig(embedding_dim=4, neighbor_samples=(3, 2))
+            module = BipartiteGraphSAGE(
+                graph.user_features.shape[1], graph.item_features.shape[1], cfg, rng=3
+            )
+            trainer = SageTrainer(
+                module, graph, TrainConfig(epochs=1, batch_size=64), rng=3
+            )
+            return trainer.fit().final_loss
+
+        assert run() == pytest.approx(run())

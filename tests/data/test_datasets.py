@@ -1,0 +1,88 @@
+"""Named dataset presets and schema helpers."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import PREDICTION_SIZES, TAXONOMY_SIZES, load_dataset, load_query_dataset
+from repro.data.schema import InteractionLog, dataset_statistics
+
+
+class TestPresets:
+    def test_all_prediction_sizes_declared(self):
+        assert {"tiny", "small", "default"} <= set(PREDICTION_SIZES)
+        assert {"tiny", "small", "default"} <= set(TAXONOMY_SIZES)
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("taobao-production", size="tiny")
+
+    def test_unknown_size_raises(self):
+        with pytest.raises(ValueError):
+            load_dataset("mini-taobao1", size="huge")
+        with pytest.raises(ValueError):
+            load_query_dataset(size="huge")
+
+    def test_unknown_query_name(self):
+        with pytest.raises(ValueError):
+            load_query_dataset(name="mini-taobao4")
+
+    def test_shared_world_between_1_and_2(self, tiny_dataset, tiny_cold_dataset):
+        # Same seed -> the same latent world underlies both datasets.
+        assert tiny_dataset.ground_truth.tree.names == tiny_cold_dataset.ground_truth.tree.names
+
+    def test_statistics_row(self, tiny_dataset):
+        stats = dataset_statistics(tiny_dataset)
+        assert stats["users"] > 0
+        assert stats["items"] > 0
+        assert stats["clicks"] >= stats["users"]  # everyone clicks at least twice
+        assert 0 < stats["density"] < 1
+
+    def test_cold_statistics_are_scoped(self, tiny_dataset, tiny_cold_dataset):
+        dense = dataset_statistics(tiny_dataset)
+        cold = dataset_statistics(tiny_cold_dataset)
+        assert cold["items"] < dense["items"]
+        assert cold["clicks"] < dense["clicks"]
+
+
+class TestInteractionLog:
+    def test_filtering(self):
+        log = InteractionLog(
+            users=np.array([0, 1, 2]),
+            items=np.array([5, 6, 5]),
+            days=np.array([0, 1, 1]),
+            clicks=np.array([1, 2, 1]),
+            purchases=np.array([0, 1, 0]),
+        )
+        assert len(log.filter_days({1})) == 2
+        assert len(log.filter_items(np.array([5]))) == 2
+
+    def test_column_validation(self):
+        with pytest.raises(ValueError):
+            InteractionLog(
+                users=np.array([0]),
+                items=np.array([0, 1]),
+                days=np.array([0]),
+                clicks=np.array([1]),
+                purchases=np.array([0]),
+            )
+
+    def test_zero_clicks_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionLog(
+                users=np.array([0]),
+                items=np.array([0]),
+                days=np.array([0]),
+                clicks=np.array([0]),
+                purchases=np.array([0]),
+            )
+
+    def test_to_graph_aggregates_clicks(self):
+        log = InteractionLog(
+            users=np.array([0, 0]),
+            items=np.array([1, 1]),
+            days=np.array([0, 1]),
+            clicks=np.array([2, 3]),
+            purchases=np.array([0, 1]),
+        )
+        graph = log.to_graph(2, 2)
+        assert graph.edge_weight(0, 1) == 5.0

@@ -1,0 +1,57 @@
+"""Dataset and embedding persistence round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import load_dataset_file, load_embeddings, save_dataset, save_embeddings
+
+
+class TestDatasetRoundtrip:
+    def test_full_roundtrip(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset_file(path)
+        assert loaded.name == tiny_dataset.name
+        assert loaded.graph.edge_set() == tiny_dataset.graph.edge_set()
+        assert np.allclose(loaded.graph.edge_weights, tiny_dataset.graph.edge_weights)
+        assert np.allclose(loaded.graph.user_features, tiny_dataset.graph.user_features)
+        assert np.array_equal(loaded.train.labels, tiny_dataset.train.labels)
+        assert np.array_equal(loaded.test.users, tiny_dataset.test.users)
+        assert np.allclose(loaded.user_profiles, tiny_dataset.user_profiles)
+        assert len(loaded.log) == len(tiny_dataset.log)
+        assert loaded.metadata["test_day"] == tiny_dataset.metadata["test_day"]
+
+    def test_oracle_not_persisted(self, tiny_dataset, tmp_path):
+        path = tmp_path / "ds.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset_file(path)
+        assert loaded.ground_truth is None
+
+    def test_loaded_dataset_trains(self, tiny_dataset, tmp_path):
+        from repro.prediction import CVRTrainConfig, FeatureAssembler, train_cvr_model
+
+        path = tmp_path / "ds.npz"
+        save_dataset(tiny_dataset, path)
+        loaded = load_dataset_file(path)
+        assembler = FeatureAssembler.for_dataset(loaded)
+        x, y = assembler.assemble_samples(loaded.train)
+        model, _ = train_cvr_model(x, y, CVRTrainConfig(hidden=(8,), epochs=1), rng=0)
+        assert np.all(np.isfinite(model.predict_proba(x[:10])))
+
+
+class TestEmbeddingsRoundtrip:
+    def test_roundtrip_with_dims(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        zu = np.random.default_rng(0).normal(size=(10, 6))
+        zi = np.random.default_rng(1).normal(size=(8, 6))
+        save_embeddings(path, zu, zi, level_dims=[3, 3])
+        lu, li, dims = load_embeddings(path)
+        assert np.allclose(lu, zu)
+        assert np.allclose(li, zi)
+        assert dims == [3, 3]
+
+    def test_roundtrip_without_dims(self, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embeddings(path, np.ones((2, 2)), np.ones((2, 2)))
+        _, _, dims = load_embeddings(path)
+        assert dims is None

@@ -1,0 +1,118 @@
+"""Replicate sampling (Section IV-B-1) and train/validation splits."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.sampling import class_ratio, replicate_to_ratio, subsample_negatives
+from repro.data.schema import LabeledSamples
+from repro.data.splits import stratified_split, train_validation_split
+
+
+def _samples(n_pos, n_neg, seed=0):
+    rng = np.random.default_rng(seed)
+    n = n_pos + n_neg
+    labels = np.concatenate([np.ones(n_pos, dtype=int), np.zeros(n_neg, dtype=int)])
+    rng.shuffle(labels)
+    return LabeledSamples(
+        users=rng.integers(0, 50, n),
+        items=rng.integers(0, 40, n),
+        labels=labels,
+    )
+
+
+class TestReplicate:
+    def test_hits_target_ratio(self):
+        s = replicate_to_ratio(_samples(10, 300), 3.0, rng=0)
+        assert class_ratio(s) == pytest.approx(3.0, rel=0.05)
+
+    def test_negatives_untouched(self):
+        original = _samples(10, 300)
+        s = replicate_to_ratio(original, 3.0, rng=0)
+        assert s.num_negative == original.num_negative
+
+    def test_noop_when_already_balanced(self):
+        original = _samples(100, 150)
+        assert replicate_to_ratio(original, 3.0, rng=0) is original
+
+    def test_no_positives_noop(self):
+        original = _samples(0, 50)
+        assert replicate_to_ratio(original, 3.0, rng=0) is original
+
+    def test_replicas_are_real_positives(self):
+        original = _samples(5, 100, seed=2)
+        pos_pairs = set(
+            zip(
+                original.users[original.labels == 1].tolist(),
+                original.items[original.labels == 1].tolist(),
+            )
+        )
+        s = replicate_to_ratio(original, 3.0, rng=0)
+        new_pos = set(zip(s.users[s.labels == 1].tolist(), s.items[s.labels == 1].tolist()))
+        assert new_pos == pos_pairs
+
+    def test_invalid_ratio(self):
+        with pytest.raises(ValueError):
+            replicate_to_ratio(_samples(5, 5), 0.0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_pos=st.integers(1, 30), n_neg=st.integers(1, 300), ratio=st.floats(0.5, 10))
+    def test_property_ratio_never_exceeds_target(self, n_pos, n_neg, ratio):
+        s = replicate_to_ratio(_samples(n_pos, n_neg), ratio, rng=0)
+        assert class_ratio(s) <= ratio + 1.0  # integer rounding slack
+
+
+class TestSubsample:
+    def test_drops_to_ratio(self):
+        s = subsample_negatives(_samples(10, 300), 3.0, rng=0)
+        assert s.num_negative == 30
+        assert s.num_positive == 10
+
+    def test_noop_when_below(self):
+        original = _samples(10, 20)
+        assert subsample_negatives(original, 3.0, rng=0) is original
+
+
+class TestClassRatio:
+    def test_value(self):
+        assert class_ratio(_samples(10, 30)) == pytest.approx(3.0)
+
+    def test_no_positives_is_inf(self):
+        assert class_ratio(_samples(0, 10)) == float("inf")
+
+
+class TestSplits:
+    def test_sizes(self):
+        train, val = train_validation_split(_samples(50, 150), 0.2, rng=0)
+        assert len(val) == 40
+        assert len(train) == 160
+
+    def test_partition_is_exact(self):
+        s = _samples(30, 70)
+        train, val = train_validation_split(s, 0.25, rng=0)
+        assert len(train) + len(val) == len(s)
+
+    def test_stratified_preserves_ratio(self):
+        s = _samples(100, 300)
+        train, val = stratified_split(s, 0.2, rng=0)
+        assert class_ratio(train) == pytest.approx(3.0, rel=0.1)
+        assert class_ratio(val) == pytest.approx(3.0, rel=0.1)
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            train_validation_split(_samples(5, 5), 0.0)
+        with pytest.raises(ValueError):
+            stratified_split(_samples(5, 5), 1.0)
+
+
+class TestLabeledSamples:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            LabeledSamples(np.zeros(3), np.zeros(2), np.zeros(3))
+
+    def test_shuffled_preserves_multiset(self):
+        s = _samples(5, 10)
+        shuffled = s.shuffled(np.random.default_rng(0))
+        assert sorted(zip(s.users, s.items, s.labels)) == sorted(
+            zip(shuffled.users, shuffled.items, shuffled.labels)
+        )

@@ -1,0 +1,136 @@
+"""The synthetic Taobao world: structure, leakage, oracle sanity."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic import GroundTruth, TaobaoGenerator, WorldConfig
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TaobaoGenerator(
+        WorldConfig(num_users=80, num_items=60, branching=(3, 2), interactions_per_user=12.0),
+        seed=1,
+    )
+
+
+class TestWorldConfig:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            WorldConfig(num_users=1)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            WorldConfig(affinity_decay=1.5)
+
+    def test_invalid_days(self):
+        with pytest.raises(ValueError):
+            WorldConfig(num_days=1)
+
+
+class TestGroundTruth:
+    def test_affinity_is_row_stochastic(self, generator):
+        aff = generator.truth.user_affinity
+        assert np.allclose(aff.sum(axis=1), 1.0)
+        assert aff.min() >= 0
+
+    def test_home_leaf_has_max_affinity_mostly(self, generator):
+        truth = generator.truth
+        argmax = truth.user_affinity.argmax(axis=1)
+        agreement = np.mean(argmax == truth.user_home_leaf_index)
+        assert agreement > 0.5  # taste noise flips some, not most
+
+    def test_item_leaves_valid(self, generator):
+        truth = generator.truth
+        assert set(truth.item_leaf) <= set(truth.tree.leaves.tolist())
+        assert np.array_equal(
+            truth.tree.leaves[truth.item_leaf_index], truth.item_leaf
+        )
+
+    def test_probabilities_in_range(self, generator):
+        truth = generator.truth
+        for user in (0, 5):
+            for item in (0, 7):
+                assert 0.0 <= truth.click_probability(user, item) <= 1.0
+                assert 0.0 <= truth.purchase_probability(user, item) <= 1.0
+
+    def test_home_item_clicks_better_than_foreign(self, generator):
+        truth = generator.truth
+        clicks_home, clicks_far = [], []
+        for user in range(30):
+            home_leaf_idx = truth.user_home_leaf_index[user]
+            home_items = np.flatnonzero(truth.item_leaf_index == home_leaf_idx)
+            far_idx = int(np.argmin(truth.user_affinity[user]))
+            far_items = np.flatnonzero(truth.item_leaf_index == far_idx)
+            if len(home_items) and len(far_items):
+                clicks_home.append(truth.click_probability(user, int(home_items[0])))
+                clicks_far.append(truth.click_probability(user, int(far_items[0])))
+        assert np.mean(clicks_home) > np.mean(clicks_far)
+
+    def test_new_item_fraction(self, generator):
+        truth = generator.truth
+        share = truth.new_items.mean()
+        assert 0.15 < share < 0.45  # config default 0.3
+
+    def test_item_label_at_depth(self, generator):
+        truth = generator.truth
+        labels1 = truth.item_label_at_depth(1)
+        assert np.all(truth.tree.depth[labels1] == 1)
+
+
+class TestDatasets:
+    def test_no_test_day_leakage_in_graph(self, generator):
+        ds = generator.build_dataset()
+        test_day = ds.metadata["test_day"]
+        train_log = ds.log.filter_days(set(range(test_day)))
+        # Every graph edge must exist in the train-period log.
+        log_pairs = set(zip(train_log.users.tolist(), train_log.items.tolist()))
+        assert ds.graph.edge_set() <= log_pairs
+
+    def test_click_weights_match_log(self, generator):
+        ds = generator.build_dataset()
+        test_day = ds.metadata["test_day"]
+        train_log = ds.log.filter_days(set(range(test_day)))
+        assert ds.graph.total_weight == pytest.approx(float(train_log.clicks.sum()))
+
+    def test_labels_are_binary(self, generator):
+        ds = generator.build_dataset()
+        assert set(np.unique(ds.train.labels)) <= {0, 1}
+        assert set(np.unique(ds.test.labels)) <= {0, 1}
+
+    def test_feature_tables_aligned(self, generator):
+        ds = generator.build_dataset()
+        assert ds.user_profiles.shape[0] == ds.num_users
+        assert ds.item_stats.shape[0] == ds.num_items
+        assert ds.graph.user_features.shape[0] == ds.num_users
+        assert ds.graph.item_features.shape[0] == ds.num_items
+
+    def test_cold_start_samples_only_new_items(self, generator):
+        cold = generator.build_cold_start_dataset()
+        new_ids = set(cold.metadata["new_items"])
+        assert set(cold.train.items.tolist()) <= new_ids
+        assert set(cold.test.items.tolist()) <= new_ids
+
+    def test_cold_start_graph_keeps_all_items(self, generator):
+        cold = generator.build_cold_start_dataset()
+        assert cold.graph.num_items == generator.config.num_items
+
+    def test_cold_start_sparser_positives(self, generator):
+        dense = generator.build_dataset()
+        cold = generator.build_cold_start_dataset()
+        dense_rate = dense.train.num_positive / len(dense.train)
+        cold_rate = cold.train.num_positive / max(len(cold.train), 1)
+        assert cold_rate < dense_rate
+
+    def test_reproducible_across_instances(self):
+        cfg = WorldConfig(num_users=40, num_items=30, branching=(2, 2))
+        a = TaobaoGenerator(cfg, seed=9).build_dataset()
+        b = TaobaoGenerator(cfg, seed=9).build_dataset()
+        assert a.graph.edge_set() == b.graph.edge_set()
+        assert np.array_equal(a.train.labels, b.train.labels)
+
+    def test_different_seeds_differ(self):
+        cfg = WorldConfig(num_users=40, num_items=30, branching=(2, 2))
+        a = TaobaoGenerator(cfg, seed=1).build_dataset()
+        b = TaobaoGenerator(cfg, seed=2).build_dataset()
+        assert a.graph.edge_set() != b.graph.edge_set()

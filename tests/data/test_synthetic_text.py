@@ -1,0 +1,91 @@
+"""The synthetic query-item world."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_text import QueryItemGenerator, QueryWorldConfig
+from repro.data.topics import TopicTree
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return QueryItemGenerator(
+        QueryWorldConfig(num_queries=60, num_items=90, branching=(3, 2), clicks_per_query=8.0),
+        seed=0,
+    ).build_dataset()
+
+
+class TestConfig:
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            QueryWorldConfig(num_queries=1)
+
+    def test_invalid_decay(self):
+        with pytest.raises(ValueError):
+            QueryWorldConfig(topic_match_decay=0.0)
+
+
+class TestDataset:
+    def test_shapes(self, dataset):
+        assert dataset.num_queries == 60
+        assert dataset.num_items == 90
+        assert len(dataset.query_texts) == 60
+        assert len(dataset.item_titles) == 90
+
+    def test_texts_nonempty(self, dataset):
+        assert all(len(t) > 0 for t in dataset.query_texts)
+        assert all(len(t) > 0 for t in dataset.item_titles)
+
+    def test_item_topics_are_leaves(self, dataset):
+        assert set(dataset.item_leaf.tolist()) <= set(dataset.tree.leaves.tolist())
+
+    def test_query_topics_valid_nodes(self, dataset):
+        assert dataset.query_topic.min() >= 1  # never the root
+        assert dataset.query_topic.max() < dataset.tree.n_nodes
+
+    def test_some_internal_queries(self, dataset):
+        depths = dataset.tree.depth[dataset.query_topic]
+        assert (depths < dataset.tree.max_depth).any()
+        assert (depths == dataset.tree.max_depth).any()
+
+    def test_clicks_favor_matching_topics(self, dataset):
+        tree = dataset.tree
+        match, total = 0, 0
+        for q in range(dataset.num_queries):
+            topic = int(dataset.query_topic[q])
+            for item in dataset.graph.item_neighbors(q):
+                leaf = int(dataset.item_leaf[int(item)])
+                total += 1
+                if tree.ancestor_at_depth(leaf, tree.depth[topic]) == topic:
+                    match += 1
+        assert total > 0
+        assert match / total > 0.4  # far above the ~1/n_subtrees chance
+
+    def test_titles_contain_topic_words(self, dataset):
+        tree = dataset.tree
+        hits = 0
+        for item in range(40):
+            own = set(tree.topic_words(int(dataset.item_leaf[item])))
+            if own & set(dataset.item_titles[item]):
+                hits += 1
+        assert hits > 25  # most titles carry at least one topical word
+
+    def test_item_label_at_depth(self, dataset):
+        labels = dataset.item_label_at_depth(1)
+        assert np.all(dataset.tree.depth[labels] == 1)
+
+    def test_shared_tree_reuse(self):
+        tree = TopicTree.generate(branching=(2, 2), rng=3)
+        ds = QueryItemGenerator(
+            QueryWorldConfig(num_queries=20, num_items=30, branching=(2, 2)),
+            seed=0,
+            tree=tree,
+        ).build_dataset()
+        assert ds.tree is tree
+
+    def test_deterministic(self):
+        cfg = QueryWorldConfig(num_queries=25, num_items=30, branching=(2, 2))
+        a = QueryItemGenerator(cfg, seed=4).build_dataset()
+        b = QueryItemGenerator(cfg, seed=4).build_dataset()
+        assert a.graph.edge_set() == b.graph.edge_set()
+        assert a.query_texts == b.query_texts

@@ -1,0 +1,111 @@
+"""Ground-truth topic trees."""
+
+import numpy as np
+import pytest
+
+from repro.data.topics import TopicTree
+
+
+@pytest.fixture(scope="module")
+def tree():
+    return TopicTree.generate(branching=(3, 2, 2), embedding_dim=8, rng=0)
+
+
+class TestStructure:
+    def test_node_counts(self, tree):
+        # 1 root + 3 + 6 + 12
+        assert tree.n_nodes == 22
+        assert tree.n_leaves == 12
+        assert tree.max_depth == 3
+
+    def test_root(self, tree):
+        assert tree.parent[0] == -1
+        assert tree.depth[0] == 0
+
+    def test_children_consistent_with_parent(self, tree):
+        for v in range(1, tree.n_nodes):
+            assert v in tree.children[tree.parent[v]]
+
+    def test_leaves_at_max_depth(self, tree):
+        assert np.all(tree.depth[tree.leaves] == tree.max_depth)
+
+    def test_bad_branching_raises(self):
+        with pytest.raises(ValueError):
+            TopicTree.generate(branching=())
+        with pytest.raises(ValueError):
+            TopicTree.generate(branching=(2, 0))
+
+
+class TestQueries:
+    def test_ancestors_path(self, tree):
+        leaf = int(tree.leaves[0])
+        path = tree.ancestors(leaf)
+        assert path[-1] == 0  # ends at root
+        assert len(path) == tree.max_depth
+        # Depths strictly decrease along the path.
+        depths = [tree.depth[v] for v in path]
+        assert depths == sorted(depths, reverse=True)
+
+    def test_ancestor_at_depth(self, tree):
+        leaf = int(tree.leaves[5])
+        assert tree.ancestor_at_depth(leaf, tree.max_depth) == leaf
+        anc1 = tree.ancestor_at_depth(leaf, 1)
+        assert tree.depth[anc1] == 1
+
+    def test_ancestor_below_node_raises(self, tree):
+        with pytest.raises(ValueError):
+            tree.ancestor_at_depth(0, 2)
+
+    def test_lca_symmetric(self, tree):
+        a, b = int(tree.leaves[0]), int(tree.leaves[7])
+        assert tree.lowest_common_ancestor(a, b) == tree.lowest_common_ancestor(b, a)
+
+    def test_lca_of_self(self, tree):
+        leaf = int(tree.leaves[3])
+        assert tree.lowest_common_ancestor(leaf, leaf) == leaf
+
+    def test_leaf_distance_zero_for_same(self, tree):
+        leaf = int(tree.leaves[0])
+        assert tree.leaf_distance(leaf, leaf) == 0
+
+    def test_siblings_distance_one(self, tree):
+        # Leaves 0 and 1 share a parent by BFS construction.
+        a, b = int(tree.leaves[0]), int(tree.leaves[1])
+        assert tree.parent[a] == tree.parent[b]
+        assert tree.leaf_distance(a, b) == 1
+
+    def test_distance_matrix_symmetric(self, tree):
+        mat = tree.leaf_distance_matrix()
+        assert np.array_equal(mat, mat.T)
+        assert np.all(np.diag(mat) == 0)
+        assert mat.max() <= tree.max_depth
+
+
+class TestEmbeddingsAndVocab:
+    def test_sibling_leaves_closer_than_cousins(self, tree):
+        emb = tree.embeddings
+        sib_a, sib_b = int(tree.leaves[0]), int(tree.leaves[1])
+        far = int(tree.leaves[-1])
+        assert tree.leaf_distance(sib_a, far) > 1
+        d_sib = np.linalg.norm(emb[sib_a] - emb[sib_b])
+        d_far = np.linalg.norm(emb[sib_a] - emb[far])
+        assert d_sib < d_far
+
+    def test_vocab_unique_per_topic(self, tree):
+        all_words = [w for words in tree.vocab for w in words]
+        assert len(all_words) == len(set(all_words))
+
+    def test_names_unique(self, tree):
+        assert len(tree.names) == len(set(tree.names))
+
+    def test_topic_words_include_ancestors(self, tree):
+        leaf = int(tree.leaves[0])
+        own_only = tree.topic_words(leaf, include_ancestors=False)
+        with_anc = tree.topic_words(leaf, include_ancestors=True)
+        assert set(own_only) < set(with_anc)
+
+    def test_deterministic(self):
+        a = TopicTree.generate(branching=(2, 2), rng=5)
+        b = TopicTree.generate(branching=(2, 2), rng=5)
+        assert a.names == b.names
+        assert np.allclose(a.embeddings, b.embeddings)

@@ -1,0 +1,65 @@
+"""Structural graph analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.graph.analysis import (
+    connected_components,
+    degree_summary,
+    giant_component_fraction,
+    weight_gini,
+)
+from repro.graph.bipartite import BipartiteGraph
+
+
+class TestDegreeSummary:
+    def test_values(self):
+        g = BipartiteGraph(3, 2, np.array([[0, 0], [0, 1], [1, 0]]))
+        stats = degree_summary(g)
+        assert stats["user_mean"] == pytest.approx(1.0)
+        assert stats["user_max"] == 2
+        assert stats["user_isolated"] == 1
+        assert stats["item_isolated"] == 0
+
+
+class TestComponents:
+    def test_single_component(self):
+        g = BipartiteGraph(2, 2, np.array([[0, 0], [1, 0], [1, 1]]))
+        uc, ic = connected_components(g)
+        assert len(set(uc) | set(ic)) == 1
+
+    def test_two_components(self):
+        g = BipartiteGraph(2, 2, np.array([[0, 0], [1, 1]]))
+        uc, ic = connected_components(g)
+        assert uc[0] != uc[1]
+        assert ic[0] == uc[0]
+        assert ic[1] == uc[1]
+
+    def test_isolated_vertices_are_singletons(self):
+        g = BipartiteGraph(3, 3, np.array([[0, 0]]))
+        uc, ic = connected_components(g)
+        # Users 1 and 2 and items 1 and 2 each form their own component.
+        all_ids = np.concatenate([uc, ic])
+        assert len(np.unique(all_ids)) == 5
+
+    def test_giant_component_fraction(self):
+        g = BipartiteGraph(3, 3, np.array([[0, 0], [1, 0], [2, 0]]))
+        # Component {u0,u1,u2,i0} out of 6 vertices plus 2 singleton items.
+        assert giant_component_fraction(g) == pytest.approx(4 / 6)
+
+
+class TestGini:
+    def test_uniform_weights_zero(self):
+        g = BipartiteGraph(2, 2, np.array([[0, 0], [1, 1]]), np.array([2.0, 2.0]))
+        assert weight_gini(g) == pytest.approx(0.0, abs=1e-9)
+
+    def test_concentrated_weights_high(self):
+        g = BipartiteGraph(
+            2, 3, np.array([[0, 0], [0, 1], [1, 2]]), np.array([98.0, 1.0, 1.0])
+        )
+        assert weight_gini(g) > 0.5
+
+    def test_empty_raises(self):
+        g = BipartiteGraph(2, 2, np.zeros((0, 2), dtype=int))
+        with pytest.raises(ValueError):
+            weight_gini(g)

@@ -1,0 +1,63 @@
+"""Random graph generators used as test fixtures and bench workloads."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import block_bipartite, random_bipartite, star_bipartite
+
+
+class TestRandomBipartite:
+    def test_counts_and_features(self):
+        g = random_bipartite(10, 8, 30, feature_dim=5, rng=0)
+        assert g.num_users == 10
+        assert g.num_items == 8
+        assert g.num_edges == 30
+        assert g.user_features.shape == (10, 5)
+        assert g.item_features.shape == (8, 5)
+
+    def test_no_duplicate_edges(self):
+        g = random_bipartite(5, 5, 25, rng=0)
+        assert g.num_edges == 25  # sampled without replacement
+
+    def test_too_many_edges_raise(self):
+        with pytest.raises(ValueError):
+            random_bipartite(2, 2, 5)
+
+    def test_unweighted_option(self):
+        g = random_bipartite(5, 5, 10, weighted=False, rng=0)
+        assert np.allclose(g.edge_weights, 1.0)
+
+    def test_deterministic(self):
+        a = random_bipartite(6, 6, 12, rng=3)
+        b = random_bipartite(6, 6, 12, rng=3)
+        assert a.edge_set() == b.edge_set()
+
+
+class TestBlockBipartite:
+    def test_planted_structure_dominates(self):
+        g, ub, ib = block_bipartite(3, 10, 10, p_in=0.5, p_out=0.01, rng=0)
+        in_block = sum(
+            1 for u, i in g.edges if ub[u] == ib[i]
+        )
+        assert in_block / g.num_edges > 0.8
+
+    def test_labels_shapes(self):
+        g, ub, ib = block_bipartite(2, 4, 3, rng=0)
+        assert len(ub) == g.num_users == 8
+        assert len(ib) == g.num_items == 6
+
+    def test_features_separate_blocks(self):
+        g, ub, _ = block_bipartite(2, 20, 5, rng=0)
+        f = g.user_features
+        centroid0 = f[ub == 0].mean(axis=0)
+        centroid1 = f[ub == 1].mean(axis=0)
+        spread = f[ub == 0].std()
+        assert np.linalg.norm(centroid0 - centroid1) > spread
+
+
+class TestStarBipartite:
+    def test_structure(self):
+        g = star_bipartite(7)
+        assert g.num_users == 1
+        assert g.user_degree(0) == 7
+        assert all(g.item_degree(i) == 1 for i in range(7))

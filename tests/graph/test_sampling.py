@@ -1,0 +1,127 @@
+"""Neighbour/negative samplers and edge batching."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.graph.generators import random_bipartite, star_bipartite
+from repro.graph.sampling import NegativeSampler, NeighborSampler, sample_edge_batches
+
+
+class TestNeighborSampler:
+    def test_shapes(self, small_random_graph):
+        sampler = NeighborSampler(small_random_graph, rng=0)
+        users = np.arange(10)
+        out = sampler.sample_items_for_users(users, fanout=4)
+        assert out.shape == (10, 4)
+        items = np.arange(8)
+        out_i = sampler.sample_users_for_items(items, fanout=3)
+        assert out_i.shape == (8, 3)
+
+    def test_samples_are_true_neighbors(self, small_random_graph):
+        g = small_random_graph
+        sampler = NeighborSampler(g, rng=0)
+        out = sampler.sample_items_for_users(np.arange(g.num_users), fanout=5)
+        for u in range(g.num_users):
+            neigh = set(g.item_neighbors(u).tolist())
+            sampled = set(out[u].tolist()) - {-1}
+            assert sampled <= neigh
+
+    def test_isolated_vertex_padded(self):
+        g = BipartiteGraph(3, 3, np.array([[0, 0]]))
+        sampler = NeighborSampler(g, rng=0)
+        out = sampler.sample_items_for_users(np.array([1, 2]), fanout=3)
+        assert np.all(out == -1)
+
+    def test_empty_graph_handles(self):
+        g = BipartiteGraph(2, 2, np.zeros((0, 2), dtype=int))
+        sampler = NeighborSampler(g, rng=0)
+        out = sampler.sample_items_for_users(np.array([0, 1]), fanout=2)
+        assert np.all(out == -1)
+
+    def test_star_graph(self):
+        g = star_bipartite(5)
+        sampler = NeighborSampler(g, rng=0)
+        out = sampler.sample_items_for_users(np.array([0]), fanout=10)
+        assert set(out[0].tolist()) <= set(range(5))
+
+    def test_invalid_fanout(self, small_random_graph):
+        with pytest.raises(ValueError):
+            NeighborSampler(small_random_graph).sample_items_for_users(np.arange(2), 0)
+
+    def test_deterministic_with_seed(self, small_random_graph):
+        a = NeighborSampler(small_random_graph, rng=5).sample_items_for_users(
+            np.arange(5), 3
+        )
+        b = NeighborSampler(small_random_graph, rng=5).sample_items_for_users(
+            np.arange(5), 3
+        )
+        assert np.array_equal(a, b)
+
+    def test_weighted_sampling_prefers_heavy_edges(self):
+        # user 0: item 0 weight 99, item 1 weight 1.
+        g = BipartiteGraph(1, 2, np.array([[0, 0], [0, 1]]), np.array([99.0, 1.0]))
+        sampler = NeighborSampler(g, rng=0, weighted=True)
+        out = sampler.sample_items_for_users(np.zeros(200, dtype=int), fanout=1)
+        share_heavy = float(np.mean(out == 0))
+        assert share_heavy > 0.9
+
+    def test_weighted_isolated_padded(self):
+        g = BipartiteGraph(2, 2, np.array([[0, 0]]))
+        sampler = NeighborSampler(g, rng=0, weighted=True)
+        out = sampler.sample_items_for_users(np.array([1]), fanout=2)
+        assert np.all(out == -1)
+
+
+class TestNegativeSampler:
+    def test_uniform_covers_range(self, small_random_graph):
+        sampler = NegativeSampler(small_random_graph, distribution="uniform", rng=0)
+        users = sampler.sample_users(500)
+        items = sampler.sample_items(500)
+        assert users.min() >= 0 and users.max() < small_random_graph.num_users
+        assert items.min() >= 0 and items.max() < small_random_graph.num_items
+
+    def test_degree_distribution_prefers_popular(self):
+        # item 0 has degree 5, item 4 degree 0.
+        edges = np.array([[u, 0] for u in range(5)])
+        g = BipartiteGraph(5, 5, edges)
+        sampler = NegativeSampler(g, distribution="degree", rng=0)
+        items = sampler.sample_items(3000)
+        counts = np.bincount(items, minlength=5)
+        assert counts[0] > counts[4] > 0  # smoothing keeps isolated reachable
+
+    def test_unknown_distribution(self, small_random_graph):
+        with pytest.raises(ValueError):
+            NegativeSampler(small_random_graph, distribution="zipf")
+
+
+class TestEdgeBatches:
+    def test_covers_every_edge_once(self, small_random_graph):
+        g = small_random_graph
+        seen = []
+        for users, items, weights in sample_edge_batches(g, batch_size=7, rng=0):
+            assert len(users) == len(items) == len(weights)
+            seen.extend(zip(users.tolist(), items.tolist()))
+        assert sorted(seen) == sorted((int(u), int(i)) for u, i in g.edges)
+
+    def test_batch_size_respected(self, small_random_graph):
+        sizes = [
+            len(u) for u, _, _ in sample_edge_batches(small_random_graph, 8, rng=0)
+        ]
+        assert all(s <= 8 for s in sizes)
+        assert sum(sizes) == small_random_graph.num_edges
+
+    def test_invalid_batch_size(self, small_random_graph):
+        with pytest.raises(ValueError):
+            list(sample_edge_batches(small_random_graph, 0))
+
+    def test_no_shuffle_is_stable(self, small_random_graph):
+        a = [
+            u.tolist()
+            for u, _, _ in sample_edge_batches(small_random_graph, 5, shuffle=False)
+        ]
+        b = [
+            u.tolist()
+            for u, _, _ in sample_edge_batches(small_random_graph, 5, shuffle=False)
+        ]
+        assert a == b

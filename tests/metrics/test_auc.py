@@ -1,0 +1,101 @@
+"""AUC: exact values, ties, invariances."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.metrics.auc import auc, roc_curve
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.1, 0.2, 0.8, 0.9])
+        assert auc(labels, scores) == 1.0
+
+    def test_inverted_is_zero(self):
+        labels = np.array([0, 0, 1, 1])
+        scores = np.array([0.9, 0.8, 0.2, 0.1])
+        assert auc(labels, scores) == 0.0
+
+    def test_known_value(self):
+        # One misranked pair of 1x3=... labels [1,0,1], scores [0.3,0.5,0.9]
+        # pairs: (p=0.3 vs n=0.5) lost, (p=0.9 vs n=0.5) won -> 0.5
+        assert auc(np.array([1, 0, 1]), np.array([0.3, 0.5, 0.9])) == pytest.approx(0.5)
+
+    def test_ties_give_half_credit(self):
+        labels = np.array([0, 1])
+        scores = np.array([0.5, 0.5])
+        assert auc(labels, scores) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError):
+            auc(np.ones(5), np.linspace(0, 1, 5))
+        with pytest.raises(ValueError):
+            auc(np.zeros(5), np.linspace(0, 1, 5))
+
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            auc(np.ones(3), np.ones(4))
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 5000)
+        scores = rng.random(5000)
+        assert auc(labels, scores) == pytest.approx(0.5, abs=0.03)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_monotone_transform_invariant(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, 50)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=50)
+        a = auc(labels, scores)
+        b = auc(labels, np.exp(scores))  # strictly monotone
+        assert a == pytest.approx(b)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_property_complement_symmetry(self, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 2, 40)
+        if labels.min() == labels.max():
+            labels[0] = 1 - labels[0]
+        scores = rng.normal(size=40)
+        assert auc(labels, scores) == pytest.approx(1.0 - auc(labels, -scores))
+
+    def test_matches_pairwise_bruteforce(self):
+        rng = np.random.default_rng(3)
+        labels = rng.integers(0, 2, 30)
+        labels[:2] = [0, 1]
+        scores = rng.normal(size=30)
+        pos = scores[labels == 1]
+        neg = scores[labels == 0]
+        wins = sum((p > n) + 0.5 * (p == n) for p in pos for n in neg)
+        assert auc(labels, scores) == pytest.approx(wins / (len(pos) * len(neg)))
+
+
+class TestROC:
+    def test_starts_at_origin_ends_at_one(self):
+        labels = np.array([0, 1, 0, 1])
+        scores = np.array([0.1, 0.9, 0.4, 0.6])
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_monotone(self):
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, 100)
+        scores = rng.normal(size=100)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.all(np.diff(fpr) >= 0)
+        assert np.all(np.diff(tpr) >= 0)
+
+    def test_trapezoid_matches_auc(self):
+        rng = np.random.default_rng(1)
+        labels = rng.integers(0, 2, 200)
+        scores = rng.normal(size=200)
+        fpr, tpr, _ = roc_curve(labels, scores)
+        assert np.trapezoid(tpr, fpr) == pytest.approx(auc(labels, scores), abs=1e-9)

@@ -1,0 +1,80 @@
+"""Classification and ranking metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    log_loss,
+    precision_recall_f1,
+)
+from repro.metrics.ranking import hit_rate_at_k, ndcg_at_k, precision_at_k, recall_at_k
+
+
+class TestLogLoss:
+    def test_perfect_predictions(self):
+        assert log_loss(np.array([1, 0]), np.array([1.0, 0.0])) < 1e-6
+
+    def test_uniform_is_log2(self):
+        value = log_loss(np.array([1, 0]), np.array([0.5, 0.5]))
+        assert value == pytest.approx(np.log(2))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            log_loss(np.ones(2), np.ones(3))
+
+
+class TestConfusionAndPRF:
+    def test_confusion_values(self):
+        labels = np.array([1, 1, 0, 0])
+        probs = np.array([0.9, 0.2, 0.8, 0.3])
+        mat = confusion_matrix(labels, probs)
+        assert mat.tolist() == [[1, 1], [1, 1]]
+
+    def test_prf(self):
+        labels = np.array([1, 1, 0, 0])
+        probs = np.array([0.9, 0.2, 0.8, 0.3])
+        p, r, f1 = precision_recall_f1(labels, probs)
+        assert p == pytest.approx(0.5)
+        assert r == pytest.approx(0.5)
+        assert f1 == pytest.approx(0.5)
+
+    def test_prf_zero_denominators(self):
+        p, r, f1 = precision_recall_f1(np.array([0, 0]), np.array([0.1, 0.2]))
+        assert (p, r, f1) == (0.0, 0.0, 0.0)
+
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 0, 1]), np.array([0.9, 0.1, 0.2])) == pytest.approx(2 / 3)
+
+
+class TestRanking:
+    SCORES = np.array([0.9, 0.1, 0.8, 0.3, 0.5])  # ranking: 0, 2, 4, 3, 1
+
+    def test_recall_at_k(self):
+        assert recall_at_k({0, 2}, self.SCORES, 2) == 1.0
+        assert recall_at_k({0, 1}, self.SCORES, 2) == 0.5
+        assert recall_at_k(set(), self.SCORES, 2) == 0.0
+
+    def test_precision_at_k(self):
+        assert precision_at_k({0, 2}, self.SCORES, 2) == 1.0
+        assert precision_at_k({0}, self.SCORES, 2) == 0.5
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k({4}, self.SCORES, 3) == 1.0
+        assert hit_rate_at_k({1}, self.SCORES, 3) == 0.0
+
+    def test_ndcg_perfect(self):
+        assert ndcg_at_k({0, 2}, self.SCORES, 2) == pytest.approx(1.0)
+
+    def test_ndcg_partial(self):
+        # Relevant item at rank 2 (0-indexed 1): dcg = 1/log2(3), idcg = 1
+        value = ndcg_at_k({2}, self.SCORES, 2)
+        assert value == pytest.approx(1.0 / np.log2(3))
+
+    def test_k_larger_than_items(self):
+        assert recall_at_k({0}, self.SCORES, 100) == 1.0
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k({0}, self.SCORES, 0)

@@ -1,0 +1,108 @@
+"""Loss functions: values against manual formulas and numerical safety."""
+
+import numpy as np
+import pytest
+
+from repro.nn.gradcheck import check_gradient
+from repro.nn.layers import Parameter
+from repro.nn.losses import (
+    binary_cross_entropy,
+    binary_cross_entropy_with_logits,
+    l2_penalty,
+    mse_loss,
+)
+from repro.nn.tensor import Tensor
+
+
+class TestBCEWithLogits:
+    def test_matches_manual(self):
+        logits = np.array([0.5, -1.0, 2.0])
+        labels = np.array([1.0, 0.0, 1.0])
+        expected = np.mean(
+            np.maximum(logits, 0) - logits * labels + np.log1p(np.exp(-np.abs(logits)))
+        )
+        out = binary_cross_entropy_with_logits(Tensor(logits), labels)
+        assert out.item() == pytest.approx(expected)
+
+    def test_extreme_logits_finite(self):
+        logits = Tensor(np.array([1000.0, -1000.0]), requires_grad=True)
+        loss = binary_cross_entropy_with_logits(logits, np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+        loss.backward()
+        assert np.all(np.isfinite(logits.grad))
+
+    def test_perfect_predictions_near_zero(self):
+        loss = binary_cross_entropy_with_logits(
+            Tensor(np.array([20.0, -20.0])), np.array([1.0, 0.0])
+        )
+        assert loss.item() < 1e-6
+
+    def test_weights_scale_terms(self):
+        logits = Tensor(np.zeros(2))
+        labels = np.array([1.0, 1.0])
+        unweighted = binary_cross_entropy_with_logits(logits, labels, reduction="sum")
+        weighted = binary_cross_entropy_with_logits(
+            logits, labels, weights=np.array([2.0, 0.0]), reduction="sum"
+        )
+        assert weighted.item() == pytest.approx(unweighted.item())
+
+    def test_reductions(self):
+        logits = Tensor(np.zeros(4))
+        labels = np.ones(4)
+        s = binary_cross_entropy_with_logits(logits, labels, reduction="sum").item()
+        m = binary_cross_entropy_with_logits(logits, labels, reduction="mean").item()
+        n = binary_cross_entropy_with_logits(logits, labels, reduction="none")
+        assert s == pytest.approx(4 * m)
+        assert n.shape == (4,)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            binary_cross_entropy_with_logits(Tensor(np.zeros(1)), np.zeros(1), reduction="max")
+
+    def test_gradcheck(self):
+        p = Parameter(np.random.default_rng(0).normal(size=(5,)))
+        labels = np.array([1.0, 0, 1, 0, 1])
+        check_gradient(
+            lambda: binary_cross_entropy_with_logits(p * 1.0, labels), [p]
+        )
+
+
+class TestBCEOnProbs:
+    def test_agrees_with_logit_version(self):
+        logits = np.array([0.3, -0.7, 1.2])
+        labels = np.array([1.0, 0.0, 0.0])
+        via_probs = binary_cross_entropy(Tensor(logits).sigmoid(), labels).item()
+        via_logits = binary_cross_entropy_with_logits(Tensor(logits), labels).item()
+        assert via_probs == pytest.approx(via_logits, rel=1e-6)
+
+    def test_clipping_protects_log(self):
+        loss = binary_cross_entropy(Tensor(np.array([0.0, 1.0])), np.array([1.0, 0.0]))
+        assert np.isfinite(loss.item())
+
+
+class TestMSE:
+    def test_value(self):
+        loss = mse_loss(Tensor(np.array([1.0, 2.0])), np.array([0.0, 0.0]))
+        assert loss.item() == pytest.approx(2.5)
+
+    def test_gradcheck(self):
+        p = Parameter(np.random.default_rng(0).normal(size=(4,)))
+        check_gradient(lambda: mse_loss(p * 1.0, np.ones(4)), [p])
+
+
+class TestL2Penalty:
+    def test_value(self):
+        p = Parameter(np.array([3.0, 4.0]))
+        assert l2_penalty([p], 2.0).item() == pytest.approx(25.0)
+
+    def test_empty_params(self):
+        assert l2_penalty([], 1.0).item() == 0.0
+
+    def test_negative_coefficient_raises(self):
+        with pytest.raises(ValueError):
+            l2_penalty([], -1.0)
+
+    def test_gradient_is_scaled_param(self):
+        p = Parameter(np.array([1.0, -2.0]))
+        l2_penalty([p], 0.5).backward()
+        assert np.allclose(p.grad, 0.5 * p.data)

@@ -1,0 +1,103 @@
+"""Optimisers: convergence on known problems and bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Parameter
+from repro.nn.optim import SGD, Adam, AdaGrad, build_optimizer, clip_grad_norm
+from repro.nn.tensor import Tensor
+
+
+def _quadratic_loss(p: Tensor) -> Tensor:
+    # f(p) = ||p - 3||^2, minimum at 3.
+    diff = p - 3.0
+    return (diff * diff).sum()
+
+
+def _run(optimizer_factory, steps=300):
+    p = Parameter(np.zeros(4))
+    opt = optimizer_factory([p])
+    for _ in range(steps):
+        opt.zero_grad()
+        _quadratic_loss(p).backward()
+        opt.step()
+    return p.data
+
+
+class TestConvergence:
+    def test_sgd(self):
+        assert np.allclose(_run(lambda ps: SGD(ps, lr=0.1)), 3.0, atol=1e-3)
+
+    def test_sgd_momentum(self):
+        assert np.allclose(_run(lambda ps: SGD(ps, lr=0.05, momentum=0.9)), 3.0, atol=1e-3)
+
+    def test_adam(self):
+        assert np.allclose(_run(lambda ps: Adam(ps, lr=0.1)), 3.0, atol=1e-2)
+
+    def test_adagrad(self):
+        assert np.allclose(_run(lambda ps: AdaGrad(ps, lr=1.0), steps=800), 3.0, atol=1e-2)
+
+
+class TestMechanics:
+    def test_none_grad_skipped(self):
+        p = Parameter(np.ones(3))
+        before = p.data.copy()
+        SGD([p], lr=0.1).step()
+        assert np.allclose(p.data, before)
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.ones(3) * 10)
+        opt = SGD([p], lr=0.1, weight_decay=0.5)
+        p.grad = np.zeros(3)
+        opt.step()
+        assert np.all(p.data < 10)
+
+    def test_invalid_lr(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.0)
+
+    def test_invalid_momentum(self):
+        with pytest.raises(ValueError):
+            SGD([Parameter(np.ones(1))], lr=0.1, momentum=1.5)
+
+    def test_invalid_betas(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.ones(1))], betas=(1.0, 0.999))
+
+    def test_adam_bias_correction_first_step(self):
+        # After one step with constant gradient g, Adam moves by ~lr.
+        p = Parameter(np.zeros(1))
+        opt = Adam([p], lr=0.01)
+        p.grad = np.array([5.0])
+        opt.step()
+        assert p.data[0] == pytest.approx(-0.01, rel=1e-3)
+
+
+class TestClip:
+    def test_clip_reduces_norm(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 10  # norm 20
+        norm = clip_grad_norm([p], 5.0)
+        assert norm == pytest.approx(20.0)
+        assert np.linalg.norm(p.grad) == pytest.approx(5.0)
+
+    def test_clip_noop_below_threshold(self):
+        p = Parameter(np.zeros(4))
+        p.grad = np.ones(4) * 0.1
+        clip_grad_norm([p], 5.0)
+        assert np.allclose(p.grad, 0.1)
+
+    def test_clip_invalid(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], 0.0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name,cls", [("adam", Adam), ("sgd", SGD), ("adagrad", AdaGrad)])
+    def test_build(self, name, cls):
+        opt = build_optimizer(name, [Parameter(np.ones(1))], lr=0.1)
+        assert isinstance(opt, cls)
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            build_optimizer("lbfgs", [], lr=0.1)

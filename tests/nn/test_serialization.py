@@ -1,0 +1,28 @@
+"""Module save/load round-trips."""
+
+import numpy as np
+
+from repro.nn.layers import MLP
+from repro.nn.serialization import load_module, save_module
+from repro.nn.tensor import Tensor
+
+
+def test_roundtrip(tmp_path):
+    a = MLP(4, (6,), 2, rng=0)
+    b = MLP(4, (6,), 2, rng=1)
+    path = tmp_path / "model.npz"
+    save_module(a, path)
+    load_module(b, path)
+    x = Tensor(np.random.default_rng(0).normal(size=(3, 4)))
+    assert np.allclose(a(x).data, b(x).data)
+
+
+def test_dotted_names_survive(tmp_path):
+    a = MLP(2, (3, 3), 1, rng=0)
+    path = tmp_path / "deep.npz"
+    save_module(a, path)
+    with np.load(path) as archive:
+        assert all("." not in k for k in archive.files)
+    b = MLP(2, (3, 3), 1, rng=5)
+    load_module(b, path)
+    assert np.allclose(a.state_dict()["net.layers.0.weight"], b.state_dict()["net.layers.0.weight"])

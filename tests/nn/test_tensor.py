@@ -1,0 +1,286 @@
+"""Autograd engine: forward values, gradients, and graph mechanics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nn.gradcheck import check_gradient
+from repro.nn.tensor import Tensor, concat, is_grad_enabled, no_grad, stack, where
+
+
+def _param(shape, seed=0, scale=1.0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape) * scale, requires_grad=True)
+
+
+# ----------------------------------------------------------------------
+# Forward values
+# ----------------------------------------------------------------------
+class TestForward:
+    def test_add_matches_numpy(self):
+        a, b = _param((3, 4)), _param((3, 4), seed=1)
+        assert np.allclose((a + b).data, a.data + b.data)
+
+    def test_scalar_broadcast(self):
+        a = _param((2, 3))
+        assert np.allclose((a + 1.5).data, a.data + 1.5)
+        assert np.allclose((2.0 * a).data, 2.0 * a.data)
+
+    def test_matmul_matches_numpy(self):
+        a, b = _param((3, 4)), _param((4, 5), seed=1)
+        assert np.allclose((a @ b).data, a.data @ b.data)
+
+    def test_unsupported_matmul_dims_raise(self):
+        a = _param((2, 3, 4))
+        b = _param((4,))
+        with pytest.raises(ValueError):
+            a @ b
+
+    def test_sigmoid_extreme_values_stable(self):
+        t = Tensor(np.array([-1000.0, 0.0, 1000.0]))
+        out = t.sigmoid().data
+        assert np.all(np.isfinite(out))
+        assert out[0] == pytest.approx(0.0, abs=1e-12)
+        assert out[1] == pytest.approx(0.5)
+        assert out[2] == pytest.approx(1.0, abs=1e-12)
+
+    def test_reshape_and_transpose(self):
+        a = _param((2, 6))
+        assert (a.reshape(3, 4)).shape == (3, 4)
+        assert (a.T).shape == (6, 2)
+
+    def test_concat_and_stack(self):
+        a, b = _param((2, 3)), _param((2, 2), seed=1)
+        assert concat([a, b], axis=1).shape == (2, 5)
+        c = _param((2, 3), seed=2)
+        assert stack([a, c], axis=0).shape == (2, 2, 3)
+
+    def test_concat_empty_raises(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_where_selects(self):
+        cond = np.array([True, False, True])
+        a, b = Tensor(np.ones(3)), Tensor(np.zeros(3))
+        assert np.allclose(where(cond, a, b).data, [1, 0, 1])
+
+    def test_repr_mentions_grad(self):
+        assert "requires_grad" in repr(_param((2,)))
+
+
+# ----------------------------------------------------------------------
+# Gradients: numeric checks per op
+# ----------------------------------------------------------------------
+class TestGradients:
+    def test_add_broadcast(self):
+        a, b = _param((3, 4)), _param((4,), seed=1)
+        check_gradient(lambda: (a + b).sum(), [a, b])
+
+    def test_sub_and_neg(self):
+        a, b = _param((3, 3)), _param((3, 3), seed=1)
+        check_gradient(lambda: (a - b).sum(), [a, b])
+        check_gradient(lambda: (-a).sum(), [a])
+
+    def test_mul_broadcast(self):
+        a, b = _param((2, 3)), _param((1, 3), seed=1)
+        check_gradient(lambda: (a * b).sum(), [a, b])
+
+    def test_div(self):
+        a = _param((2, 3))
+        b = Tensor(np.random.default_rng(1).uniform(0.5, 2.0, (2, 3)), requires_grad=True)
+        check_gradient(lambda: (a / b).sum(), [a, b])
+
+    def test_pow(self):
+        a = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, (4,)), requires_grad=True)
+        check_gradient(lambda: (a**3.0).sum(), [a])
+
+    def test_matmul_2d(self):
+        a, b = _param((3, 4)), _param((4, 2), seed=1)
+        check_gradient(lambda: (a @ b).sum(), [a, b])
+
+    def test_matmul_vec(self):
+        a, b = _param((3, 4)), _param((4,), seed=1)
+        check_gradient(lambda: (a @ b).sum(), [a, b])
+        c, d = _param((4,)), _param((4, 3), seed=1)
+        check_gradient(lambda: (c @ d).sum(), [c, d])
+        e, f = _param((5,)), _param((5,), seed=1)
+        check_gradient(lambda: e @ f, [e, f])
+
+    def test_matmul_batched(self):
+        a, b = _param((2, 3, 4)), _param((2, 4, 2), seed=1)
+        check_gradient(lambda: (a @ b).sum(), [a, b])
+
+    def test_sum_axes(self):
+        a = _param((3, 4, 2))
+        check_gradient(lambda: a.sum(), [a])
+        check_gradient(lambda: a.sum(axis=1).sum(), [a])
+        check_gradient(lambda: a.sum(axis=(0, 2)).sum(), [a])
+        check_gradient(lambda: a.sum(axis=1, keepdims=True).sum(), [a])
+
+    def test_mean(self):
+        a = _param((3, 4))
+        check_gradient(lambda: a.mean(), [a])
+        check_gradient(lambda: a.mean(axis=0).sum(), [a])
+
+    def test_max(self):
+        a = _param((3, 5))
+        check_gradient(lambda: a.max(axis=1).sum(), [a])
+
+    def test_max_with_ties_splits_gradient(self):
+        a = Tensor(np.array([[1.0, 1.0, 0.0]]), requires_grad=True)
+        a.max(axis=1).sum().backward()
+        assert np.allclose(a.grad, [[0.5, 0.5, 0.0]])
+
+    def test_exp_log(self):
+        a = Tensor(np.random.default_rng(0).uniform(0.5, 2.0, (3, 3)), requires_grad=True)
+        check_gradient(lambda: a.exp().sum(), [a])
+        check_gradient(lambda: a.log().sum(), [a])
+
+    def test_tanh_sigmoid(self):
+        a = _param((2, 3))
+        check_gradient(lambda: a.tanh().sum(), [a])
+        check_gradient(lambda: a.sigmoid().sum(), [a])
+
+    def test_relu_leaky_relu(self):
+        a = _param((4, 4))
+        a.data += 0.1 * np.sign(a.data)  # keep away from the kink
+        check_gradient(lambda: a.relu().sum(), [a])
+        check_gradient(lambda: a.leaky_relu().sum(), [a])
+
+    def test_abs_and_clip(self):
+        a = _param((3, 3))
+        a.data += 0.2 * np.sign(a.data)
+        check_gradient(lambda: a.abs().sum(), [a])
+        b = Tensor(np.array([0.2, 0.6, 0.9]), requires_grad=True)
+        check_gradient(lambda: b.clip(0.3, 0.8).sum(), [b])
+
+    def test_reshape_transpose(self):
+        a = _param((2, 6))
+        check_gradient(lambda: (a.reshape(3, 4) ** 2.0).sum(), [a])
+        check_gradient(lambda: (a.T ** 2.0).sum(), [a])
+        b = _param((2, 3, 4))
+        check_gradient(lambda: (b.transpose((2, 0, 1)) ** 2.0).sum(), [b])
+
+    def test_getitem_and_gather_rows(self):
+        a = _param((5, 3))
+        check_gradient(lambda: (a[1:4] ** 2.0).sum(), [a])
+        idx = np.array([0, 2, 2, 4])
+        check_gradient(lambda: (a.gather_rows(idx) ** 2.0).sum(), [a])
+
+    def test_gather_duplicates_accumulate(self):
+        a = Tensor(np.ones((3, 2)), requires_grad=True)
+        a.gather_rows(np.array([1, 1, 1])).sum().backward()
+        assert np.allclose(a.grad, [[0, 0], [3, 3], [0, 0]])
+
+    def test_concat_gradient(self):
+        a, b = _param((2, 3)), _param((2, 2), seed=1)
+        check_gradient(lambda: (concat([a, b], axis=1) ** 2.0).sum(), [a, b])
+
+    def test_stack_gradient(self):
+        a, b = _param((2, 3)), _param((2, 3), seed=1)
+        check_gradient(lambda: (stack([a, b]) ** 2.0).sum(), [a, b])
+
+    def test_where_gradient(self):
+        cond = np.random.default_rng(3).random((3, 4)) > 0.5
+        a, b = _param((3, 4)), _param((3, 4), seed=1)
+        check_gradient(lambda: where(cond, a, b).sum(), [a, b])
+
+    def test_diamond_graph_accumulates(self):
+        # y = a*a + a*a reuses `a` twice; grad must be 4a.
+        a = _param((3,))
+        ((a * a) + (a * a)).sum().backward()
+        assert np.allclose(a.grad, 4 * a.data)
+
+    def test_chain_composition(self):
+        a = _param((4, 4), scale=0.5)
+        b = _param((4, 4), seed=1, scale=0.5)
+        check_gradient(lambda: ((a @ b).tanh().sigmoid()).sum(), [a, b])
+
+
+# ----------------------------------------------------------------------
+# Graph mechanics
+# ----------------------------------------------------------------------
+class TestMechanics:
+    def test_backward_requires_grad(self):
+        with pytest.raises(RuntimeError):
+            Tensor(np.ones(3)).backward()
+
+    def test_backward_nonscalar_needs_gradient(self):
+        a = _param((3,))
+        with pytest.raises(RuntimeError):
+            (a * 2).backward()
+
+    def test_backward_with_explicit_gradient(self):
+        a = _param((3,))
+        (a * 2).backward(np.ones(3))
+        assert np.allclose(a.grad, 2 * np.ones(3))
+
+    def test_no_grad_blocks_recording(self):
+        a = _param((3,))
+        with no_grad():
+            assert not is_grad_enabled()
+            out = a * 2
+        assert is_grad_enabled()
+        assert not out.requires_grad
+
+    def test_detach_cuts_graph(self):
+        a = _param((3,))
+        out = a.detach() * 2
+        assert not out.requires_grad
+
+    def test_zero_grad(self):
+        a = _param((3,))
+        (a * 2).sum().backward()
+        assert a.grad is not None
+        a.zero_grad()
+        assert a.grad is None
+
+    def test_repeated_backward_accumulates(self):
+        a = _param((3,))
+        (a * 2).sum().backward()
+        first = a.grad.copy()
+        loss = (a * 2).sum()
+        loss.backward()
+        assert np.allclose(a.grad, 2 * first)
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+@st.composite
+def small_arrays(draw):
+    shape = draw(st.sampled_from([(2, 3), (4,), (3, 2, 2)]))
+    values = draw(
+        st.lists(
+            st.floats(min_value=-5, max_value=5, allow_nan=False),
+            min_size=int(np.prod(shape)),
+            max_size=int(np.prod(shape)),
+        )
+    )
+    return np.array(values).reshape(shape)
+
+
+class TestProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays())
+    def test_add_commutes(self, arr):
+        a, b = Tensor(arr), Tensor(arr[::-1].copy())
+        assert np.allclose((a + b).data, (b + a).data)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays())
+    def test_sum_equals_numpy(self, arr):
+        assert Tensor(arr).sum().item() == pytest.approx(arr.sum(), rel=1e-9, abs=1e-9)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays())
+    def test_grad_of_sum_is_ones(self, arr):
+        t = Tensor(arr, requires_grad=True)
+        t.sum().backward()
+        assert np.allclose(t.grad, np.ones_like(arr))
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_arrays())
+    def test_sigmoid_bounded(self, arr):
+        out = Tensor(arr).sigmoid().data
+        assert np.all((out > 0) & (out < 1))

@@ -1,0 +1,80 @@
+"""The DIN baseline: history building, attention mechanics, training."""
+
+import numpy as np
+import pytest
+
+from repro.graph.bipartite import BipartiteGraph
+from repro.prediction.cvr_model import CVRTrainConfig
+from repro.prediction.din import DIN, DINConfig, build_user_histories, din_side_features, train_din
+
+
+class TestHistories:
+    def test_shape_and_padding(self):
+        g = BipartiteGraph(3, 5, np.array([[0, 0], [0, 1], [1, 2]]))
+        hist = build_user_histories(g, history_length=4)
+        assert hist.shape == (3, 4)
+        assert set(hist[0, :2].tolist()) == {0, 1}
+        assert np.all(hist[0, 2:] == -1)
+        assert np.all(hist[2] == -1)  # isolated user
+
+    def test_truncates_by_weight(self):
+        g = BipartiteGraph(
+            1, 3, np.array([[0, 0], [0, 1], [0, 2]]), np.array([1.0, 9.0, 5.0])
+        )
+        hist = build_user_histories(g, history_length=2)
+        assert hist[0].tolist() == [1, 2]  # heaviest first
+
+
+class TestForward:
+    def test_logit_shape(self):
+        model = DIN(num_items=10, side_feature_dim=3, config=DINConfig(embedding_dim=4, history_length=5), rng=0)
+        hist = np.array([[0, 1, -1, -1, -1], [2, -1, -1, -1, -1]])
+        out = model(hist, np.array([3, 4]), np.zeros((2, 3)))
+        assert out.shape == (2,)
+        assert np.all(np.isfinite(out.data))
+
+    def test_all_padding_history_is_finite(self):
+        model = DIN(10, 3, DINConfig(embedding_dim=4, history_length=3), rng=0)
+        hist = np.full((2, 3), -1)
+        out = model(hist, np.array([0, 1]), np.zeros((2, 3)))
+        assert np.all(np.isfinite(out.data))
+
+    def test_attention_depends_on_candidate(self):
+        model = DIN(10, 1, DINConfig(embedding_dim=8, history_length=4), rng=0)
+        hist = np.array([[0, 1, 2, 3]])
+        out_a = model(hist, np.array([5]), np.zeros((1, 1)))
+        out_b = model(hist, np.array([6]), np.zeros((1, 1)))
+        assert out_a.item() != out_b.item()
+
+    def test_predict_proba_range(self):
+        model = DIN(10, 2, DINConfig(embedding_dim=4, history_length=3), rng=0)
+        hist = np.zeros((5, 3), dtype=int)
+        probs = model.predict_proba(hist, np.arange(5), np.zeros((5, 2)))
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestTraining:
+    def test_loss_decreases_on_tiny_dataset(self, tiny_dataset):
+        model, histories, result = train_din(
+            tiny_dataset,
+            DINConfig(embedding_dim=8, history_length=8, top_hidden=(16,)),
+            CVRTrainConfig(epochs=4, batch_size=256),
+            rng=0,
+        )
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+        assert histories.shape == (tiny_dataset.num_users, 8)
+
+    def test_side_features_aligned(self, tiny_dataset):
+        side = din_side_features(
+            tiny_dataset, np.array([0, 1]), np.array([2, 3])
+        )
+        expected = tiny_dataset.user_profiles.shape[1] + tiny_dataset.item_stats.shape[1]
+        assert side.shape == (2, expected)
+
+
+class TestConfig:
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            DINConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            DINConfig(history_length=0)

@@ -1,0 +1,118 @@
+"""Experiment harness: method registry and end-to-end smoke runs."""
+
+import numpy as np
+import pytest
+
+from repro.core.hignn import HiGNN
+from repro.prediction.experiment import (
+    ALL_METHODS,
+    GRAPH_METHODS,
+    method_representations,
+    run_din,
+    run_graph_method,
+    run_table3,
+)
+from repro.prediction.cvr_model import CVRTrainConfig
+from repro.prediction.din import DINConfig
+from repro.utils.config import HiGNNConfig, SageConfig, TrainConfig
+
+
+FAST_HIGNN = HiGNNConfig(
+    levels=2,
+    sage=SageConfig(embedding_dim=8, neighbor_samples=(4, 3)),
+    train=TrainConfig(epochs=2, batch_size=256),
+)
+FAST_CVR = CVRTrainConfig(hidden=(16,), epochs=3, batch_size=256)
+
+
+@pytest.fixture(scope="module")
+def hierarchy(tiny_dataset_module):
+    return HiGNN(FAST_HIGNN, seed=0).fit(tiny_dataset_module.graph)
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_module():
+    from repro.data import load_dataset
+
+    return load_dataset("mini-taobao1", size="tiny", seed=0)
+
+
+class TestRepresentations:
+    def test_dims_per_method(self, hierarchy, tiny_dataset_module):
+        n_users = tiny_dataset_module.num_users
+        n_items = tiny_dataset_module.num_items
+        d = 8
+        ur, ir, inter = method_representations(hierarchy, "ge")
+        assert ur.shape == (n_users, d)
+        assert ir.shape == (n_items, d)
+        assert len(inter) == 1
+
+        ur, ir, inter = method_representations(hierarchy, "hignn")
+        assert ur.shape == (n_users, 2 * d)
+        assert ir.shape == (n_items, 2 * d)
+        assert len(inter) == 2
+
+        ur, ir, inter = method_representations(hierarchy, "cgnn")
+        assert ur.shape == (n_users, 2 * d)
+        assert ir is None
+        assert inter == []
+
+        ur, ir, _ = method_representations(hierarchy, "hup")
+        assert ir is None
+        ur, ir, _ = method_representations(hierarchy, "hia")
+        assert ur is None
+
+    def test_unknown_method(self, hierarchy):
+        with pytest.raises(ValueError):
+            method_representations(hierarchy, "gcn")
+
+    def test_registry_consistency(self):
+        assert set(GRAPH_METHODS) < set(ALL_METHODS)
+        assert "din" in ALL_METHODS
+
+
+class TestRuns:
+    def test_graph_method_result(self, hierarchy, tiny_dataset_module):
+        result = run_graph_method(
+            "ge", tiny_dataset_module, hierarchy, FAST_CVR, seed=0
+        )
+        assert result.method == "ge"
+        assert 0.0 <= result.auc <= 1.0
+        assert result.seconds > 0
+        assert result.detail["train_size"] >= len(tiny_dataset_module.train)
+
+    def test_din_result(self, tiny_dataset_module):
+        result = run_din(
+            tiny_dataset_module,
+            DINConfig(embedding_dim=8, history_length=6, top_hidden=(16,)),
+            FAST_CVR,
+            seed=0,
+        )
+        assert result.method == "din"
+        assert 0.0 <= result.auc <= 1.0
+
+    def test_run_table3_subset(self, tiny_dataset_module):
+        results = run_table3(
+            tiny_dataset_module,
+            FAST_HIGNN,
+            FAST_CVR,
+            methods=("ge", "hignn"),
+            seed=0,
+        )
+        assert set(results) == {"ge", "hignn"}
+
+    def test_replicate_sampling_applied_to_dense_only(
+        self, tiny_dataset_module, hierarchy
+    ):
+        from repro.data import load_dataset
+
+        cold = load_dataset("mini-taobao2", size="tiny", seed=0)
+        cold_hierarchy = HiGNN(FAST_HIGNN, seed=0).fit(cold.graph)
+        dense_result = run_graph_method(
+            "ge", tiny_dataset_module, hierarchy, FAST_CVR, seed=0
+        )
+        cold_result = run_graph_method("ge", cold, cold_hierarchy, FAST_CVR, seed=0)
+        # Dense training set is replicate-balanced (bigger than raw);
+        # cold-start keeps its raw size.
+        assert dense_result.detail["train_size"] > len(tiny_dataset_module.train)
+        assert cold_result.detail["train_size"] == len(cold.train)

@@ -1,0 +1,90 @@
+"""Feature assembly for the CVR head."""
+
+import numpy as np
+import pytest
+
+from repro.prediction.features import FeatureAssembler
+
+
+def _assembler(**kwargs):
+    rng = np.random.default_rng(0)
+    return FeatureAssembler(
+        user_profiles=rng.normal(size=(6, 3)),
+        item_stats=rng.normal(size=(5, 2)),
+        **kwargs,
+    )
+
+
+class TestAssembly:
+    def test_base_dims(self):
+        asm = _assembler()
+        assert asm.feature_dim == 5
+        rows = asm.assemble(np.array([0, 1]), np.array([2, 3]))
+        assert rows.shape == (2, 5)
+
+    def test_with_representations(self):
+        rng = np.random.default_rng(1)
+        asm = _assembler(
+            user_repr=rng.normal(size=(6, 4)), item_repr=rng.normal(size=(5, 4))
+        )
+        assert asm.feature_dim == 13
+
+    def test_interactions_add_columns(self):
+        rng = np.random.default_rng(1)
+        zu, zi = rng.normal(size=(6, 4)), rng.normal(size=(5, 4))
+        asm = _assembler(interactions=[(zu, zi)])
+        assert asm.feature_dim == 9
+        rows = asm.assemble(np.array([0]), np.array([0]))
+        assert rows.shape == (1, 9)
+
+    def test_interaction_is_elementwise_product(self):
+        zu = np.eye(4)[:4].repeat(2, axis=0)[:6] + 1.0
+        zi = np.ones((5, 4)) * 2.0
+        asm = FeatureAssembler(
+            user_profiles=np.zeros((6, 1)),
+            item_stats=np.zeros((5, 1)),
+            interactions=[(zu, zi)],
+            standardize=False,
+        )
+        rows = asm.assemble(np.array([0]), np.array([0]))
+        # interactions are L2-normalised per row before the product
+        left = zu[0] / np.linalg.norm(zu[0])
+        right = zi[0] / np.linalg.norm(zi[0])
+        assert np.allclose(rows[0, 2:], left * right)
+
+    def test_interaction_dim_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            _assembler(interactions=[(np.ones((6, 3)), np.ones((5, 4)))])
+
+    def test_misaligned_ids_raise(self):
+        asm = _assembler()
+        with pytest.raises(ValueError):
+            asm.assemble(np.array([0, 1]), np.array([0]))
+
+    def test_standardized_columns(self):
+        rng = np.random.default_rng(2)
+        profiles = rng.normal(loc=100.0, scale=3.0, size=(50, 2))
+        asm = FeatureAssembler(
+            user_profiles=profiles, item_stats=np.zeros((5, 1)), standardize=True
+        )
+        table = asm._user_table
+        assert np.allclose(table.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(table.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_survives_standardize(self):
+        asm = FeatureAssembler(
+            user_profiles=np.ones((5, 1)), item_stats=np.zeros((4, 1))
+        )
+        rows = asm.assemble(np.array([0]), np.array([0]))
+        assert np.all(np.isfinite(rows))
+
+    def test_assemble_samples(self):
+        from repro.data.schema import LabeledSamples
+
+        asm = _assembler()
+        samples = LabeledSamples(
+            users=np.array([0, 1]), items=np.array([2, 3]), labels=np.array([1, 0])
+        )
+        x, y = asm.assemble_samples(samples)
+        assert x.shape == (2, 5)
+        assert np.array_equal(y, [1.0, 0.0])

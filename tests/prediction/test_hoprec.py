@@ -1,0 +1,86 @@
+"""The HOP-Rec random-walk MF baseline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import block_bipartite
+from repro.prediction.hoprec import HopRec, HopRecConfig
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return block_bipartite(
+        n_blocks=3, users_per_block=10, items_per_block=8, p_in=0.5, p_out=0.02, rng=0
+    )
+
+
+FAST = HopRecConfig(
+    embedding_dim=8, num_hops=2, hop_weights=(1.0, 0.5), walks_per_user=6, epochs=3
+)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HopRecConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            HopRecConfig(num_hops=0)
+        with pytest.raises(ValueError):
+            HopRecConfig(num_hops=3, hop_weights=(1.0,))
+        with pytest.raises(ValueError):
+            HopRecConfig(epochs=0)
+
+
+class TestTraining:
+    def test_loss_decreases(self, planted):
+        graph, *_ = planted
+        model = HopRec(graph, FAST, rng=0)
+        result = model.fit()
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_positive_pairs_outscore_random(self, planted):
+        graph, *_ = planted
+        model = HopRec(graph, FAST, rng=0)
+        model.fit()
+        pos = np.mean([model.score(int(u), int(i)) for u, i in graph.edges[:80]])
+        rng = np.random.default_rng(0)
+        neg = np.mean(
+            [
+                model.score(int(rng.integers(graph.num_users)), int(rng.integers(graph.num_items)))
+                for _ in range(80)
+            ]
+        )
+        assert pos > neg
+
+    def test_block_structure_recovered(self, planted):
+        graph, user_blocks, _ = planted
+        model = HopRec(graph, FAST, rng=0)
+        model.fit()
+        zu, _ = model.representations()
+        centroids = np.stack([zu[user_blocks == b].mean(axis=0) for b in range(3)])
+        within = float(np.mean([zu[user_blocks == b].std() for b in range(3)]))
+        between = float(
+            np.mean(
+                [
+                    np.linalg.norm(centroids[i] - centroids[j])
+                    for i in range(3)
+                    for j in range(i + 1, 3)
+                ]
+            )
+        )
+        assert between > within * 0.5
+
+    def test_representations_are_copies(self, planted):
+        graph, *_ = planted
+        model = HopRec(graph, FAST, rng=0)
+        zu, zi = model.representations()
+        zu[:] = 0.0
+        assert not np.allclose(model.user_embeddings, 0.0)
+
+    def test_deterministic(self, planted):
+        graph, *_ = planted
+        a = HopRec(graph, FAST, rng=7)
+        a.fit()
+        b = HopRec(graph, FAST, rng=7)
+        b.fit()
+        assert np.allclose(a.user_embeddings, b.user_embeddings)

@@ -1,0 +1,97 @@
+"""The NGCF dense-propagation baseline."""
+
+import numpy as np
+import pytest
+
+from repro.graph.generators import block_bipartite
+from repro.prediction.ngcf import NGCF, NGCFConfig, train_ngcf
+
+
+@pytest.fixture(scope="module")
+def planted():
+    return block_bipartite(
+        n_blocks=3, users_per_block=10, items_per_block=8, p_in=0.5, p_out=0.02, rng=0
+    )
+
+
+FAST = NGCFConfig(embedding_dim=8, num_layers=2, epochs=6, batch_size=128)
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NGCFConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            NGCFConfig(num_layers=0)
+        with pytest.raises(ValueError):
+            NGCFConfig(epochs=0)
+
+    def test_dense_guardrail(self, planted):
+        graph, *_ = planted
+        with pytest.raises(ValueError):
+            NGCF(graph, NGCFConfig(max_dense_vertices=10), rng=0)
+
+
+class TestModel:
+    def test_laplacian_symmetric_normalised(self, planted):
+        graph, *_ = planted
+        model = NGCF(graph, FAST, rng=0)
+        lap = model._laplacian
+        assert np.allclose(lap, lap.T)
+        # Rows of a symmetric-normalised adjacency have spectral norm <= 1;
+        # check the largest eigenvalue is bounded by 1 (+ fp slack).
+        eigs = np.linalg.eigvalsh(lap)
+        assert eigs.max() <= 1.0 + 1e-8
+
+    def test_representation_shapes(self, planted):
+        graph, *_ = planted
+        model = NGCF(graph, FAST, rng=0)
+        zu, zi = model.user_item_representations()
+        expected = 8 * (FAST.num_layers + 1)
+        assert zu.shape == (graph.num_users, expected)
+        assert zi.shape == (graph.num_items, expected)
+
+
+class TestTraining:
+    def test_loss_decreases(self, planted):
+        graph, *_ = planted
+        _, result = train_ngcf(graph, FAST, rng=0)
+        assert result.epoch_losses[-1] < result.epoch_losses[0]
+
+    def test_positive_pairs_outscore_random(self, planted):
+        graph, *_ = planted
+        model, _ = train_ngcf(graph, FAST, rng=0)
+        zu, zi = model.user_item_representations()
+        pos = np.mean([zu[u] @ zi[i] for u, i in graph.edges[:60]])
+        rng = np.random.default_rng(0)
+        neg = np.mean(
+            [
+                zu[rng.integers(graph.num_users)] @ zi[rng.integers(graph.num_items)]
+                for _ in range(60)
+            ]
+        )
+        assert pos > neg
+
+    def test_blocks_separate(self, planted):
+        graph, user_blocks, _ = planted
+        model, _ = train_ngcf(graph, FAST, rng=0)
+        zu, _ = model.user_item_representations()
+        centroids = np.stack([zu[user_blocks == b].mean(axis=0) for b in range(3)])
+        within = float(np.mean([zu[user_blocks == b].std() for b in range(3)]))
+        between = float(
+            np.mean(
+                [
+                    np.linalg.norm(centroids[i] - centroids[j])
+                    for i in range(3)
+                    for j in range(i + 1, 3)
+                ]
+            )
+        )
+        assert between > within * 0.5
+
+    def test_deterministic(self, planted):
+        graph, *_ = planted
+        cfg = NGCFConfig(embedding_dim=4, num_layers=1, epochs=1, batch_size=64)
+        a, ra = train_ngcf(graph, cfg, rng=5)
+        b, rb = train_ngcf(graph, cfg, rng=5)
+        assert ra.epoch_losses == rb.epoch_losses

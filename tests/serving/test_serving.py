@@ -1,0 +1,220 @@
+"""Simulated serving environment, recommenders, and A/B harness."""
+
+import numpy as np
+import pytest
+
+from repro.serving.abtest import ABDayResult, run_ab_test
+from repro.serving.environment import OnlineEnvironment, Recommender, ServingMetrics
+from repro.serving.pipeline import (
+    build_taxonomy_ab_world,
+    sample_user_histories,
+    user_topics_from_history,
+)
+from repro.serving.recommend import (
+    PopularityRecommender,
+    ScoreTableRecommender,
+    TaxonomyRecommender,
+)
+from repro.taxonomy.builder import Taxonomy, Topic
+
+
+class _OracleRecommender(Recommender):
+    """Cheating arm: ranks by true click probability (upper bound)."""
+
+    def __init__(self, truth, candidates):
+        self.truth = truth
+        self.candidates = candidates
+
+    def recommend(self, user, k):
+        scores = np.array(
+            [self.truth.click_probability(user, int(i)) for i in self.candidates]
+        )
+        return self.candidates[np.argsort(-scores)[:k]]
+
+
+class _RandomRecommender(Recommender):
+    def __init__(self, candidates, rng):
+        self.candidates = candidates
+        self.rng = rng
+
+    def recommend(self, user, k):
+        return self.rng.choice(self.candidates, size=min(k, len(self.candidates)), replace=False)
+
+
+@pytest.fixture(scope="module")
+def world(tiny_dataset_module):
+    return tiny_dataset_module.ground_truth
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset_module():
+    from repro.data import load_dataset
+
+    return load_dataset("mini-taobao1", size="tiny", seed=0)
+
+
+class TestServingMetrics:
+    def test_derived_ratios(self):
+        m = ServingMetrics(
+            visitors=100, impressions=1000, clicks=250, transactions=50,
+            unique_click_visitors=80,
+        )
+        assert m.ctr == 0.25
+        assert m.cvr == 0.2
+        assert m.uv == 80
+        assert m.cnt == 50
+        assert m.as_dict()["CTR"] == 0.25
+
+    def test_zero_division_guarded(self):
+        m = ServingMetrics(0, 0, 0, 0, 0)
+        assert m.ctr == 0.0
+        assert m.cvr == 0.0
+
+
+class TestEnvironment:
+    def test_oracle_beats_random(self, world):
+        candidates = np.arange(len(world.item_leaf))
+        env_a = OnlineEnvironment(world, candidates, rng=0)
+        env_b = OnlineEnvironment(world, candidates, rng=0)
+        visitors = np.arange(60)
+        oracle = env_a.run_day(_OracleRecommender(world, candidates), visitors, 5)
+        random_arm = env_b.run_day(
+            _RandomRecommender(candidates, np.random.default_rng(0)), visitors, 5
+        )
+        assert oracle.ctr > random_arm.ctr
+
+    def test_impressions_counted(self, world):
+        env = OnlineEnvironment(world, rng=0)
+        metrics = env.run_day(
+            _RandomRecommender(np.arange(20), np.random.default_rng(1)),
+            np.arange(10),
+            slate_size=4,
+        )
+        assert metrics.impressions == 40
+        assert metrics.visitors == 10
+
+    def test_invalid_slate(self, world):
+        env = OnlineEnvironment(world, rng=0)
+        with pytest.raises(ValueError):
+            env.run_day(_RandomRecommender(np.arange(5), np.random.default_rng(0)), np.arange(2), 0)
+
+
+class TestRecommenders:
+    def test_score_table_orders(self):
+        scores = np.array([[0.1, 0.9, 0.5]])
+        rec = ScoreTableRecommender(scores, np.array([10, 11, 12]))
+        assert rec.recommend(0, 2).tolist() == [11, 12]
+
+    def test_score_table_validates(self):
+        with pytest.raises(ValueError):
+            ScoreTableRecommender(np.ones(3), np.arange(3))
+
+    def test_popularity_global_order(self):
+        clicks = np.array([5.0, 50.0, 1.0])
+        rec = PopularityRecommender(clicks, np.arange(3))
+        assert rec.recommend(0, 3).tolist() == [1, 0, 2]
+        assert rec.recommend(99, 2).tolist() == [1, 0]
+
+    def test_taxonomy_recommender_prefers_user_topics(self):
+        taxonomy = Taxonomy(num_levels=1)
+        taxonomy.topics["L1C0"] = Topic("L1C0", 1, 0, np.array([0, 1]), np.array([], dtype=int))
+        taxonomy.topics["L1C1"] = Topic("L1C1", 1, 1, np.array([2, 3]), np.array([], dtype=int))
+        clicks = np.array([1.0, 5.0, 9.0, 2.0])
+        rec = TaxonomyRecommender(
+            taxonomy, {0: ["L1C0"]}, clicks, candidate_items=np.arange(4), rng=0
+        )
+        slate = rec.recommend(0, 2)
+        assert slate.tolist() == [1, 0]  # own-topic items by popularity
+
+    def test_taxonomy_recommender_backfills(self):
+        taxonomy = Taxonomy(num_levels=1)
+        taxonomy.topics["L1C0"] = Topic("L1C0", 1, 0, np.array([0]), np.array([], dtype=int))
+        clicks = np.array([1.0, 5.0, 9.0])
+        rec = TaxonomyRecommender(
+            taxonomy, {0: ["L1C0"]}, clicks, candidate_items=np.arange(3), rng=0
+        )
+        slate = rec.recommend(0, 3)
+        assert slate[0] == 0  # topic item first
+        assert set(slate.tolist()) == {0, 1, 2}
+
+    def test_taxonomy_recommender_unknown_user(self):
+        taxonomy = Taxonomy(num_levels=1)
+        taxonomy.topics["L1C0"] = Topic("L1C0", 1, 0, np.array([0]), np.array([], dtype=int))
+        rec = TaxonomyRecommender(
+            taxonomy, {}, np.ones(3), candidate_items=np.arange(3), rng=0
+        )
+        assert len(rec.recommend(7, 2)) == 2  # pure backfill
+
+
+class TestABTest:
+    def test_report_structure(self, world):
+        candidates = np.arange(len(world.item_leaf))
+        report = run_ab_test(
+            world,
+            _RandomRecommender(candidates, np.random.default_rng(0)),
+            _OracleRecommender(world, candidates),
+            num_days=2,
+            visitors_per_day=200,
+            slate_size=5,
+            candidate_items=candidates,
+            rng=0,
+        )
+        assert len(report.days) == 2
+        text = report.render()
+        assert "CTR" in text and "Day 2" in text
+        assert report.mean_lift("CTR") > 0  # oracle wins
+
+    def test_lift_math(self):
+        day = ABDayResult(
+            day=0,
+            control=ServingMetrics(10, 100, 20, 4, 8),
+            treatment=ServingMetrics(10, 100, 30, 6, 9),
+        )
+        assert day.lift("CTR") == pytest.approx(0.5)
+        assert day.lift("CNT") == pytest.approx(0.5)
+        assert "->" in day.row("UV")
+
+    def test_zero_control_lift(self):
+        day = ABDayResult(
+            day=0,
+            control=ServingMetrics(10, 100, 0, 0, 0),
+            treatment=ServingMetrics(10, 100, 5, 1, 2),
+        )
+        assert day.lift("CTR") == float("inf")
+
+    def test_invalid_days(self, world):
+        with pytest.raises(ValueError):
+            run_ab_test(world, None, None, num_days=0)
+
+
+class TestTaxonomyABWorld:
+    def test_world_dimensions(self, tiny_query_dataset_session):
+        world = build_taxonomy_ab_world(tiny_query_dataset_session, num_users=50, seed=0)
+        assert world.user_affinity.shape[0] == 50
+        assert len(world.item_leaf) == tiny_query_dataset_session.num_items
+        assert np.allclose(world.user_affinity.sum(axis=1), 1.0)
+
+    def test_histories_respect_affinity(self, tiny_query_dataset_session):
+        world = build_taxonomy_ab_world(tiny_query_dataset_session, num_users=30, seed=0)
+        histories = sample_user_histories(world, items_per_user=4, seed=0)
+        assert set(histories) == set(range(30))
+        # History items exist.
+        for items in histories.values():
+            assert all(0 <= i < tiny_query_dataset_session.num_items for i in items)
+
+    def test_user_topics_mapping(self, tiny_query_dataset_session):
+        taxonomy = Taxonomy(num_levels=1)
+        n = tiny_query_dataset_session.num_items
+        half = n // 2
+        taxonomy.topics["L1C0"] = Topic("L1C0", 1, 0, np.arange(half), np.array([], dtype=int))
+        taxonomy.topics["L1C1"] = Topic("L1C1", 1, 1, np.arange(half, n), np.array([], dtype=int))
+        topics = user_topics_from_history(taxonomy, {0: [0, half], 1: []})
+        assert topics[0] == ["L1C0", "L1C1"]
+        assert topics[1] == []
+
+
+@pytest.fixture(scope="module")
+def tiny_query_dataset_session():
+    from repro.data import load_query_dataset
+
+    return load_query_dataset(size="tiny", seed=0)

@@ -1,0 +1,89 @@
+"""Taxonomy construction from fitted hierarchies."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy.builder import Taxonomy, Topic, build_taxonomy
+from repro.taxonomy.pipeline import TaxonomyPipelineConfig, fit_query_item_hignn
+
+
+FAST = TaxonomyPipelineConfig(
+    levels=2, embedding_dim=8, word2vec_epochs=1, sage_epochs=2, batch_size=128
+)
+
+
+@pytest.fixture(scope="module")
+def built(tiny_query_dataset_module):
+    hierarchy, _ = fit_query_item_hignn(tiny_query_dataset_module, FAST, rng=0)
+    taxonomy = build_taxonomy(hierarchy, tiny_query_dataset_module)
+    return hierarchy, taxonomy
+
+
+@pytest.fixture(scope="module")
+def tiny_query_dataset_module():
+    from repro.data import load_query_dataset
+
+    return load_query_dataset(size="tiny", seed=0)
+
+
+class TestStructure:
+    def test_levels_present(self, built):
+        _, taxonomy = built
+        assert taxonomy.num_levels == 2
+        assert len(taxonomy.at_level(1)) >= 2
+        assert len(taxonomy.at_level(2)) >= 2
+
+    def test_level1_partitions_items(self, built, tiny_query_dataset_module):
+        _, taxonomy = built
+        items = np.sort(
+            np.concatenate([t.items for t in taxonomy.at_level(1)])
+        )
+        assert np.array_equal(items, np.arange(tiny_query_dataset_module.num_items))
+
+    def test_parent_links_consistent(self, built):
+        _, taxonomy = built
+        for topic in taxonomy.at_level(1):
+            assert topic.parent is not None
+            parent = taxonomy.topics[topic.parent]
+            assert parent.level == 2
+            assert set(topic.items.tolist()) <= set(parent.items.tolist())
+            assert topic.topic_id in parent.children
+
+    def test_roots_are_top_level(self, built):
+        _, taxonomy = built
+        assert all(t.level == taxonomy.num_levels for t in taxonomy.roots())
+
+    def test_queries_attached(self, built, tiny_query_dataset_module):
+        _, taxonomy = built
+        g = tiny_query_dataset_module.graph
+        for topic in taxonomy.at_level(1)[:3]:
+            expected = set()
+            for item in topic.items:
+                expected.update(int(q) for q in g.user_neighbors(int(item)))
+            assert set(topic.queries.tolist()) == expected
+
+    def test_render_produces_tree_text(self, built):
+        _, taxonomy = built
+        text = taxonomy.render(max_children=2)
+        assert "items)" in text
+        assert text.count("\n") >= 2
+
+
+class TestEdgeCases:
+    def test_empty_hierarchy_raises(self, tiny_query_dataset_module):
+        from repro.core.hierarchy import HierarchicalEmbeddings
+
+        with pytest.raises(ValueError):
+            build_taxonomy(HierarchicalEmbeddings(), tiny_query_dataset_module)
+
+    def test_min_topic_size_filters(self, built, tiny_query_dataset_module):
+        hierarchy, _ = built
+        filtered = build_taxonomy(hierarchy, tiny_query_dataset_module, min_topic_size=5)
+        assert all(t.size >= 5 for t in filtered.topics.values())
+
+    def test_topic_dataclass(self):
+        topic = Topic(
+            topic_id="L1C0", level=1, cluster=0,
+            items=np.array([1, 2]), queries=np.array([0]),
+        )
+        assert topic.size == 2

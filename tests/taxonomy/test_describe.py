@@ -1,0 +1,119 @@
+"""Topic description matching (Eqs. 14-16)."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_text import QueryItemDataset
+from repro.graph.bipartite import BipartiteGraph
+from repro.data.topics import TopicTree
+from repro.taxonomy.builder import Taxonomy, Topic
+from repro.taxonomy.describe import TopicDescriber, describe_taxonomy
+
+
+def _toy_dataset():
+    """Two clear topics: beach items (queries 0,1) and tech items (2)."""
+    tree = TopicTree.generate(branching=(2,), rng=0)
+    item_titles = [
+        ["beach", "dress", "summer"],
+        ["beach", "sunglasses", "sun"],
+        ["laptop", "computer", "fast"],
+        ["keyboard", "computer", "usb"],
+    ]
+    query_texts = [["beach", "dress"], ["beach", "sun"], ["computer", "fast"]]
+    edges = np.array([[0, 0], [0, 1], [1, 1], [2, 2], [2, 3]])
+    graph = BipartiteGraph(3, 4, edges)
+    return QueryItemDataset(
+        name="toy",
+        graph=graph,
+        query_texts=query_texts,
+        item_titles=item_titles,
+        tree=tree,
+        query_topic=np.array([1, 1, 2]),
+        item_leaf=np.array([tree.leaves[0]] * 2 + [tree.leaves[1]] * 2),
+    )
+
+
+def _topics(dataset):
+    beach = Topic(
+        topic_id="L1C0", level=1, cluster=0,
+        items=np.array([0, 1]), queries=np.array([0, 1]),
+    )
+    tech = Topic(
+        topic_id="L1C1", level=1, cluster=1,
+        items=np.array([2, 3]), queries=np.array([2]),
+    )
+    return [beach, tech]
+
+
+class TestScores:
+    def test_popularity_higher_for_matching_topic(self):
+        ds = _toy_dataset()
+        describer = TopicDescriber(ds, _topics(ds))
+        # 'beach dress' query against the beach topic vs the tech topic.
+        assert describer.popularity(0, 0) > describer.popularity(0, 1)
+
+    def test_concentration_higher_for_matching_topic(self):
+        ds = _toy_dataset()
+        describer = TopicDescriber(ds, _topics(ds))
+        assert describer.concentration(0, 0) > describer.concentration(0, 1)
+        assert describer.concentration(2, 1) > describer.concentration(2, 0)
+
+    def test_representativeness_is_geometric_mean(self):
+        ds = _toy_dataset()
+        describer = TopicDescriber(ds, _topics(ds))
+        pop = describer.popularity(0, 0)
+        con = describer.concentration(0, 0)
+        assert describer.representativeness(0, 0) == pytest.approx(
+            np.sqrt(pop * con)
+        )
+
+    def test_concentration_in_unit_interval(self):
+        ds = _toy_dataset()
+        describer = TopicDescriber(ds, _topics(ds))
+        for q in range(3):
+            for t in range(2):
+                assert 0.0 <= describer.concentration(q, t) < 1.0
+
+
+class TestBestQuery:
+    def test_best_query_is_topical(self):
+        ds = _toy_dataset()
+        describer = TopicDescriber(ds, _topics(ds))
+        best, score = describer.best_query(0)
+        assert best in (0, 1)  # a beach query
+        assert score > 0
+
+    def test_topic_without_queries_falls_back(self):
+        ds = _toy_dataset()
+        lonely = Topic(
+            topic_id="L1C9", level=1, cluster=9,
+            items=np.array([3]), queries=np.array([], dtype=int),
+        )
+        describer = TopicDescriber(ds, [lonely])
+        best, _ = describer.best_query(0)
+        assert best is None
+        describer.describe()
+        assert lonely.description == "L1C9"
+
+    def test_empty_topic_list_raises(self):
+        with pytest.raises(ValueError):
+            TopicDescriber(_toy_dataset(), [])
+
+
+class TestDescribeTaxonomy:
+    def test_all_topics_described(self):
+        ds = _toy_dataset()
+        taxonomy = Taxonomy(num_levels=1)
+        for t in _topics(ds):
+            taxonomy.topics[t.topic_id] = t
+        describe_taxonomy(taxonomy, ds)
+        assert all(t.description for t in taxonomy.topics.values())
+
+    def test_descriptions_match_topics(self):
+        ds = _toy_dataset()
+        taxonomy = Taxonomy(num_levels=1)
+        for t in _topics(ds):
+            taxonomy.topics[t.topic_id] = t
+        describe_taxonomy(taxonomy, ds)
+        assert "beach" in taxonomy.topics["L1C0"].description
+        assert "computer" in taxonomy.topics["L1C1"].description

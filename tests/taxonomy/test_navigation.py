@@ -1,0 +1,82 @@
+"""Taxonomy browsing navigation."""
+
+import numpy as np
+import pytest
+
+from repro.data.synthetic_text import QueryItemDataset
+from repro.data.topics import TopicTree
+from repro.graph.bipartite import BipartiteGraph
+from repro.taxonomy.builder import Taxonomy, Topic
+from repro.taxonomy.navigation import TaxonomyNavigator
+
+
+@pytest.fixture()
+def nav_fixture():
+    tree = TopicTree.generate(branching=(2,), rng=0)
+    item_titles = [
+        ["beach", "dress"],
+        ["beach", "towel"],
+        ["laptop", "stand"],
+        ["laptop", "charger"],
+    ]
+    dataset = QueryItemDataset(
+        name="toy",
+        graph=BipartiteGraph(2, 4, np.array([[0, 0], [1, 2]])),
+        query_texts=[["beach"], ["laptop"]],
+        item_titles=item_titles,
+        tree=tree,
+        query_topic=np.array([1, 2]),
+        item_leaf=np.array([tree.leaves[0]] * 2 + [tree.leaves[1]] * 2),
+    )
+    taxonomy = Taxonomy(num_levels=2)
+    beach = Topic("L1C0", 1, 0, np.array([0, 1]), np.array([0]), parent="L2C0")
+    tech = Topic("L1C1", 1, 1, np.array([2, 3]), np.array([1]), parent="L2C0")
+    beach.description = "beach things"
+    tech.description = "laptop gear"
+    root = Topic(
+        "L2C0", 2, 0, np.arange(4), np.array([0, 1]), children=["L1C0", "L1C1"]
+    )
+    root.description = "everything"
+    for t in (beach, tech, root):
+        taxonomy.topics[t.topic_id] = t
+    return taxonomy, dataset
+
+
+class TestRouting:
+    def test_routes_to_matching_topic(self, nav_fixture):
+        taxonomy, dataset = nav_fixture
+        nav = TaxonomyNavigator(taxonomy, dataset)
+        result = nav.route("beach towel for summer")[0]
+        assert result.topic_id == "L1C0"
+        assert result.score > 0
+
+    def test_path_reaches_root(self, nav_fixture):
+        taxonomy, dataset = nav_fixture
+        nav = TaxonomyNavigator(taxonomy, dataset)
+        result = nav.route("laptop charger")[0]
+        assert result.path == ["L1C1", "L2C0"]
+        assert result.siblings == ["L1C0"]
+
+    def test_topn_returns_ranked(self, nav_fixture):
+        taxonomy, dataset = nav_fixture
+        nav = TaxonomyNavigator(taxonomy, dataset)
+        results = nav.route("beach", topn=2)
+        assert len(results) == 2
+        assert results[0].score >= results[1].score
+
+    def test_breadcrumbs_use_descriptions(self, nav_fixture):
+        taxonomy, dataset = nav_fixture
+        nav = TaxonomyNavigator(taxonomy, dataset)
+        crumbs = nav.breadcrumbs("beach dress")
+        assert crumbs == ["everything", "beach things"]
+
+    def test_empty_query_raises(self, nav_fixture):
+        taxonomy, dataset = nav_fixture
+        nav = TaxonomyNavigator(taxonomy, dataset)
+        with pytest.raises(ValueError):
+            nav.route("!!!")
+
+    def test_empty_level_raises(self, nav_fixture):
+        taxonomy, dataset = nav_fixture
+        with pytest.raises(ValueError):
+            TaxonomyNavigator(taxonomy, dataset, level=3)

@@ -1,0 +1,75 @@
+"""The taxonomy pipeline: shared-space text embedding + HiGNN glue."""
+
+import numpy as np
+import pytest
+
+from repro.taxonomy.pipeline import (
+    TaxonomyPipelineConfig,
+    embed_texts,
+    fit_query_item_hignn,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    from repro.data import load_query_dataset
+
+    return load_query_dataset(size="tiny", seed=0)
+
+
+class TestEmbedTexts:
+    def test_shared_space_shapes(self, dataset):
+        qv, iv, model = embed_texts(dataset, dim=8, epochs=1, rng=0)
+        assert qv.shape == (dataset.num_queries, 8)
+        assert iv.shape == (dataset.num_items, 8)
+
+    def test_centered_and_scaled(self, dataset):
+        qv, iv, _ = embed_texts(dataset, dim=8, epochs=1, rng=0)
+        stacked = np.concatenate([qv, iv])
+        assert np.allclose(stacked.mean(axis=0), 0.0, atol=1e-9)
+        assert np.mean(np.sum(stacked**2, axis=1)) == pytest.approx(1.0, rel=1e-6)
+
+    def test_vocabulary_spans_queries_and_titles(self, dataset):
+        _, _, model = embed_texts(dataset, dim=8, epochs=1, rng=0)
+        # A token that only occurs in queries must still be embedded.
+        query_tokens = {t for doc in dataset.query_texts for t in doc}
+        assert any(t in model.vocab for t in query_tokens)
+
+    def test_deterministic(self, dataset):
+        a, _, _ = embed_texts(dataset, dim=8, epochs=1, rng=3)
+        b, _, _ = embed_texts(dataset, dim=8, epochs=1, rng=3)
+        assert np.allclose(a, b)
+
+
+class TestFitPipeline:
+    def test_levels_and_embedding_dims(self, dataset):
+        config = TaxonomyPipelineConfig(
+            levels=2, embedding_dim=8, word2vec_dim=8,
+            word2vec_epochs=1, sage_epochs=2,
+        )
+        hierarchy, w2v = fit_query_item_hignn(dataset, config, rng=0)
+        assert 1 <= hierarchy.num_levels <= 2
+        assert hierarchy.levels[0].user_embeddings.shape == (dataset.num_queries, 8)
+        assert hierarchy.levels[0].item_embeddings.shape == (dataset.num_items, 8)
+
+    def test_shared_space_modules(self, dataset):
+        from repro.core.hignn import HiGNN  # noqa: F401  (import sanity)
+
+        config = TaxonomyPipelineConfig(
+            levels=1, embedding_dim=8, word2vec_dim=8,
+            word2vec_epochs=1, sage_epochs=1,
+        )
+        hierarchy, _ = fit_query_item_hignn(dataset, config, rng=0)
+        # The coarse graph carries mean-pooled features of dim 8.
+        coarse = hierarchy.levels[0].coarse_graph
+        assert coarse.user_features.shape[1] == 8
+        assert coarse.item_features.shape[1] == 8
+
+    def test_word2vec_dim_decoupled(self, dataset):
+        config = TaxonomyPipelineConfig(
+            levels=1, embedding_dim=4, word2vec_dim=12,
+            word2vec_epochs=1, sage_epochs=1,
+        )
+        hierarchy, w2v = fit_query_item_hignn(dataset, config, rng=0)
+        assert w2v.dim == 12
+        assert hierarchy.levels[0].item_embeddings.shape[1] == 4

@@ -1,0 +1,51 @@
+"""Public-API integrity: exports exist and __all__ lists are honest."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.nn",
+    "repro.graph",
+    "repro.clustering",
+    "repro.text",
+    "repro.data",
+    "repro.core",
+    "repro.prediction",
+    "repro.taxonomy",
+    "repro.serving",
+    "repro.metrics",
+    "repro.utils",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_entries_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} missing __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} listed but missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_docstrings_present(name):
+    module = importlib.import_module(name)
+    assert module.__doc__, f"{name} has no module docstring"
+
+
+def test_version_string():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) == 3
+    assert all(p.isdigit() for p in parts)
+
+
+def test_top_level_classes_documented():
+    import repro
+
+    for symbol in repro.__all__:
+        obj = getattr(repro, symbol)
+        if isinstance(obj, type) or callable(obj):
+            assert obj.__doc__, f"repro.{symbol} lacks a docstring"

@@ -1,0 +1,115 @@
+"""Tokeniser, vocabulary, and BM25."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.text.bm25 import BM25
+from repro.text.tokenize import tokenize
+from repro.text.vocab import Vocabulary
+
+
+class TestTokenize:
+    def test_lowercases_and_splits(self):
+        assert tokenize("Beach-Dress, SPF 50!") == ["beach", "dress", "spf", "50"]
+
+    def test_empty_string(self):
+        assert tokenize("") == []
+
+    def test_apostrophes_kept(self):
+        assert tokenize("women's shoes") == ["women's", "shoes"]
+
+    def test_unicode_punctuation_stripped(self):
+        assert tokenize("hello…world") == ["hello", "world"]
+
+    def test_underscores_kept(self):
+        assert tokenize("shoe_42 bag-7") == ["shoe_42", "bag", "7"]
+
+
+class TestVocabulary:
+    def test_roundtrip(self):
+        vocab = Vocabulary([["a", "b"], ["b", "c"]])
+        ids = vocab.encode(["a", "b", "c"])
+        assert vocab.decode(ids) == ["a", "b", "c"]
+
+    def test_frequency_order(self):
+        vocab = Vocabulary([["x", "y", "y", "z", "y", "z"]])
+        assert vocab.token(0) == "y"  # most frequent first
+        assert vocab.count("y") == 3
+
+    def test_min_count_filters(self):
+        vocab = Vocabulary([["rare", "common", "common"]], min_count=2)
+        assert "common" in vocab
+        assert "rare" not in vocab
+        assert vocab.get("rare") is None
+
+    def test_encode_drops_oov(self):
+        vocab = Vocabulary([["a", "b"]])
+        assert vocab.decode(vocab.encode(["a", "zzz", "b"])) == ["a", "b"]
+
+    def test_invalid_min_count(self):
+        with pytest.raises(ValueError):
+            Vocabulary([], min_count=0)
+
+    def test_len_and_contains(self):
+        vocab = Vocabulary([["a", "b", "a"]])
+        assert len(vocab) == 2
+        assert "a" in vocab
+        assert "q" not in vocab
+
+    def test_deterministic_tie_break(self):
+        a = Vocabulary([["b", "a"]])
+        b = Vocabulary([["a", "b"]])
+        assert a.tokens == b.tokens  # lexicographic among equal counts
+
+
+class TestBM25:
+    DOCS = [
+        ["red", "dress", "beach"],
+        ["sun", "glasses", "beach", "beach"],
+        ["laptop", "computer", "keyboard"],
+    ]
+
+    def test_topical_doc_wins(self):
+        bm25 = BM25(self.DOCS)
+        scores = bm25.scores(["beach"])
+        assert np.argmax(scores) == 1  # two occurrences of 'beach'
+
+    def test_unseen_terms_score_zero(self):
+        bm25 = BM25(self.DOCS)
+        assert bm25.scores(["spaceship"]) == [0.0, 0.0, 0.0]
+
+    def test_scores_nonnegative(self):
+        bm25 = BM25(self.DOCS)
+        for doc in self.DOCS:
+            assert all(s >= 0 for s in bm25.scores(doc))
+
+    def test_rare_term_higher_idf(self):
+        bm25 = BM25(self.DOCS)
+        # 'laptop' appears in 1 doc, 'beach' in 2: idf(laptop) > idf(beach)
+        assert bm25._idf["laptop"] > bm25._idf["beach"]
+
+    def test_top_documents(self):
+        bm25 = BM25(self.DOCS)
+        top = bm25.top_documents(["laptop", "keyboard"], topn=1)
+        assert top[0][0] == 2
+
+    def test_empty_corpus_raises(self):
+        with pytest.raises(ValueError):
+            BM25([])
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(ValueError):
+            BM25(self.DOCS, k1=-1)
+        with pytest.raises(ValueError):
+            BM25(self.DOCS, b=2.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(1, 5))
+    def test_property_repeating_query_terms_monotone(self, reps):
+        bm25 = BM25(self.DOCS)
+        single = bm25.score(["beach"], 1)
+        repeated = bm25.score(["beach"] * reps, 1)
+        assert repeated >= single - 1e-12

@@ -1,0 +1,89 @@
+"""Skip-gram word2vec on small synthetic corpora."""
+
+import numpy as np
+import pytest
+
+from repro.text.vocab import Vocabulary
+from repro.text.word2vec import Word2Vec, embed_documents
+
+
+def _topic_corpus(n_docs=60, seed=0):
+    """Two topics with disjoint vocabularies."""
+    rng = np.random.default_rng(seed)
+    topics = [["cat", "dog", "pet", "fur"], ["car", "wheel", "engine", "road"]]
+    docs = []
+    labels = []
+    for _ in range(n_docs):
+        t = int(rng.integers(2))
+        docs.append([str(w) for w in rng.choice(topics[t], size=6)])
+        labels.append(t)
+    return docs, np.array(labels)
+
+
+class TestWord2Vec:
+    def test_same_topic_words_more_similar(self):
+        docs, _ = _topic_corpus()
+        vocab = Vocabulary(docs)
+        model = Word2Vec(vocab, dim=16, rng=0)
+        model.train(docs, epochs=10)
+        sims = dict(model.most_similar("cat", topn=len(vocab) - 1))
+        assert sims["dog"] > sims["car"]
+
+    def test_document_vectors_separate_topics(self):
+        docs, labels = _topic_corpus()
+        matrix, _ = embed_documents(docs, dim=16, epochs=10, rng=0)
+        c0 = matrix[labels == 0].mean(axis=0)
+        c1 = matrix[labels == 1].mean(axis=0)
+        within = matrix[labels == 0].std()
+        assert np.linalg.norm(c0 - c1) > within
+
+    def test_document_vector_oov_is_zero(self):
+        docs, _ = _topic_corpus()
+        _, model = embed_documents(docs, dim=8, epochs=1, rng=0)
+        assert np.allclose(model.document_vector(["zzz", "qqq"]), 0.0)
+
+    def test_unknown_token_raises(self):
+        docs, _ = _topic_corpus()
+        _, model = embed_documents(docs, dim=8, epochs=1, rng=0)
+        with pytest.raises(KeyError):
+            model.vector("spaceship")
+
+    def test_deterministic(self):
+        docs, _ = _topic_corpus()
+        a, _ = embed_documents(docs, dim=8, epochs=2, rng=42)
+        b, _ = embed_documents(docs, dim=8, epochs=2, rng=42)
+        assert np.allclose(a, b)
+
+    def test_invalid_params(self):
+        vocab = Vocabulary([["a", "b"]])
+        with pytest.raises(ValueError):
+            Word2Vec(vocab, dim=0)
+        with pytest.raises(ValueError):
+            Word2Vec(vocab, window=0)
+        with pytest.raises(ValueError):
+            Word2Vec(vocab, negatives=0)
+
+    def test_empty_vocab_raises(self):
+        with pytest.raises(ValueError):
+            Word2Vec(Vocabulary([]))
+
+    def test_no_trainable_docs_raises(self):
+        vocab = Vocabulary([["a", "b"]])
+        model = Word2Vec(vocab, dim=4, rng=0)
+        with pytest.raises(ValueError):
+            model.train([["zzz"]], epochs=1)
+
+    def test_subsampling_trains_and_stays_finite(self):
+        # A dominant filler token gets thinned; training still works.
+        docs = [["the"] * 6 + ["cat", "dog", "pet", "fur"] for _ in range(30)]
+        vocab = Vocabulary(docs)
+        model = Word2Vec(vocab, dim=8, rng=0)
+        loss = model.train(docs, epochs=2, subsample=0.05)
+        assert np.isfinite(loss)
+
+    def test_subsampling_off_keeps_all_tokens(self):
+        docs, _ = _topic_corpus()
+        vocab = Vocabulary(docs)
+        model = Word2Vec(vocab, dim=8, rng=0)
+        loss = model.train(docs, epochs=1, subsample=0.0)
+        assert np.isfinite(loss)
