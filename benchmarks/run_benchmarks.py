@@ -1,0 +1,35 @@
+#!/usr/bin/env python
+"""Run the hot-path perf suite and write ``BENCH_hotpaths.json``.
+
+Usage::
+
+    python benchmarks/run_benchmarks.py [--mode quick|full] [--seed N]
+                                        [--repeats N] [--out PATH]
+
+Thin wrapper over ``python -m repro.cli bench`` that works from any
+working directory without installing the package: it puts ``src/`` on
+``sys.path`` and defaults ``--out`` to the repo root so the tracked
+report lands in the same place every time.  ``--mode quick`` is sized
+for CI smoke runs; ``--mode full`` regenerates the tracked record.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(ROOT / "src"))
+
+
+def main(argv: list[str] | None = None) -> int:
+    from repro.cli import main as cli_main
+
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if "--out" not in argv:
+        argv += ["--out", str(ROOT / "BENCH_hotpaths.json")]
+    return cli_main(["bench", *argv])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Hot-path perf benchmark — the Section III-D scalability claim.
+
+Times the three loops the paper's complexity analysis names (recursive
+neighbour embedding, neighbour sampling, K-means) with their retained
+reference implementations ("before") against the batch-efficient
+rewrites ("after"), and writes the tracked ``BENCH_hotpaths.json``
+report at the repo root.  ``benchmarks/run_benchmarks.py`` (or
+``python -m repro.cli bench``) produces the same report standalone;
+``--mode full`` regenerates the record at the full workload grid.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.utils.bench import SCHEMA, bench_hotpaths, render_report, write_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+
+def test_hotpath_bench_writes_tracked_report(report):
+    result = bench_hotpaths("quick", seed=0, repeats=3)
+    path = write_report(result, REPO_ROOT / "BENCH_hotpaths.json")
+    report("hotpath_bench", render_report(result))
+
+    data = json.loads(path.read_text())
+    assert data["schema"] == SCHEMA
+    benches = data["benchmarks"]
+    assert set(benches) == {"embed_all", "train_epoch", "weighted_sampling", "kmeans"}
+    for rows in benches.values():
+        assert rows
+        for row in rows:
+            assert row["before_s"] > 0 and row["after_s"] > 0
+
+    # Regression guards, deliberately looser than the typical speedups
+    # (>5x embed_all, >10x sampling here) so noisy CI boxes don't flake.
+    assert benches["embed_all"][-1]["speedup"] > 1.5
+    assert benches["weighted_sampling"][-1]["speedup"] > 2.0
+    assert benches["train_epoch"][-1]["speedup"] > 1.2

@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli table3  [--size small] [--seed 0] [--methods ge,hignn,din]
     python -m repro.cli taxonomy [--size small] [--levels 3] [--seed 0]
     python -m repro.cli ab      [--size tiny]  [--days 2] [--seed 0]
+    python -m repro.cli bench   [--mode quick] [--out BENCH_hotpaths.json]
 
 Each subcommand regenerates one of the paper's experiments at the
 chosen scale and prints the result table.  For the full reproducible
@@ -50,6 +51,14 @@ def build_parser() -> argparse.ArgumentParser:
     _common(ab)
     ab.add_argument("--days", type=int, default=2)
     ab.add_argument("--visitors", type=int, default=2000)
+
+    bench = sub.add_parser(
+        "bench", help="hot-path perf benchmark (writes BENCH_hotpaths.json)"
+    )
+    bench.add_argument("--mode", default="quick", choices=("quick", "full"))
+    bench.add_argument("--seed", type=int, default=0)
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--out", default="BENCH_hotpaths.json")
 
     return parser
 
@@ -176,11 +185,22 @@ def cmd_ab(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.utils.bench import bench_hotpaths, render_report, write_report
+
+    report = bench_hotpaths(args.mode, seed=args.seed, repeats=args.repeats)
+    print(render_report(report))
+    path = write_report(report, args.out)
+    print(f"wrote {path}")
+    return 0
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "table3": cmd_table3,
     "taxonomy": cmd_taxonomy,
     "ab": cmd_ab,
+    "bench": cmd_bench,
 }
 
 

@@ -72,8 +72,7 @@ def kmeans(
         raise ValueError("cannot cluster an empty point set")
     if n_clusters < 1:
         raise ValueError("n_clusters must be >= 1")
-    n_distinct = len(np.unique(points, axis=0))
-    n_clusters = min(n_clusters, n_distinct)
+    n_clusters = _clamp_to_distinct(points, n_clusters)
 
     best: KMeansResult | None = None
     for _ in range(max(1, config.n_init)):
@@ -82,11 +81,29 @@ def kmeans(
         elif config.algorithm == "minibatch":
             result = _minibatch(points, n_clusters, config, rng)
         else:
-            result = _single_pass(points, n_clusters, rng)
+            result = _single_pass(points, n_clusters, rng, config.chunk_size)
         if best is None or result.inertia < best.inertia:
             best = result
     assert best is not None
     return best
+
+
+def _clamp_to_distinct(points: np.ndarray, n_clusters: int) -> int:
+    """Clamp ``n_clusters`` to the number of distinct points — cheaply.
+
+    The exact distinct-row count (``np.unique(points, axis=0)``) costs a
+    full lexicographic row sort, which used to run on *every* call.  The
+    distinct-value count of a fixed 1-D projection lower-bounds the
+    distinct-row count (equal rows project equally), so the expensive
+    exact count only runs when that cheap bound says clamping might be
+    needed.  No RNG is consumed, so seeded results are unchanged.
+    """
+    if n_clusters <= 1:
+        return n_clusters
+    projection = points @ np.linspace(1.0, 2.0, points.shape[1])
+    if len(np.unique(projection)) >= n_clusters:
+        return n_clusters
+    return min(n_clusters, len(np.unique(points, axis=0)))
 
 
 def kmeans_plus_plus(
@@ -137,12 +154,55 @@ def _lloyd(
     return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=iteration)
 
 
+def _running_mean_update(
+    centers: np.ndarray, counts: np.ndarray, batch: np.ndarray, labels: np.ndarray
+) -> None:
+    """Fold ``batch`` into ``centers`` with per-centre decaying rates.
+
+    Vectorised (``np.add.at`` scatter) equivalent of processing the
+    batch point-by-point with ``eta = 1/count``: a centre that absorbs
+    ``m`` points with sum ``s`` ends at ``(c0*v0 + s) / (c0 + m)`` — the
+    same running mean the sequential loop converges to, applied in one
+    shot.  For a single-point batch the arithmetic is identical to the
+    sequential update.
+    """
+    k, dim = centers.shape
+    added = np.bincount(labels, minlength=k).astype(np.float64)
+    sums = np.zeros((k, dim))
+    np.add.at(sums, labels, batch)
+    touched = added > 0
+    new_counts = counts + added
+    centers[touched] += (
+        sums[touched] - added[touched, None] * centers[touched]
+    ) / new_counts[touched, None]
+    counts[:] = new_counts
+
+
 def _minibatch(
     points: np.ndarray,
     n_clusters: int,
     config: KMeansConfig,
     rng: np.random.Generator,
 ) -> KMeansResult:
+    centers = kmeans_plus_plus(points, n_clusters, rng)
+    counts = np.zeros(n_clusters)
+    n_batches = max(1, config.max_iter)
+    for _ in range(n_batches):
+        batch_idx = rng.integers(len(points), size=min(config.batch_size, len(points)))
+        batch = points[batch_idx]
+        labels, _ = assign_to_centers(batch, centers)
+        _running_mean_update(centers, counts, batch, labels)
+    labels, inertia = assign_to_centers(points, centers)
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=n_batches)
+
+
+def _minibatch_loop(
+    points: np.ndarray,
+    n_clusters: int,
+    config: KMeansConfig,
+    rng: np.random.Generator,
+) -> KMeansResult:
+    """Per-point reference implementation (equivalence tests + bench)."""
     centers = kmeans_plus_plus(points, n_clusters, rng)
     counts = np.zeros(n_clusters)
     n_batches = max(1, config.max_iter)
@@ -159,8 +219,35 @@ def _minibatch(
 
 
 def _single_pass(
+    points: np.ndarray,
+    n_clusters: int,
+    rng: np.random.Generator,
+    chunk_size: int = 256,
+) -> KMeansResult:
+    """Single-pass K-means (Section III-D) with chunked assignment.
+
+    Points are still visited exactly once in a random permutation and
+    centres still move with per-centre decaying rates; points are merely
+    assigned ``chunk_size`` at a time against the chunk-start centres so
+    the distance computation is one matrix product per chunk instead of
+    one row per point.  ``chunk_size=1`` reproduces the fully sequential
+    reference bit-for-bit.
+    """
+    centers = kmeans_plus_plus(points, n_clusters, rng)
+    counts = np.ones(n_clusters)  # seeds count as one observation
+    order = rng.permutation(len(points))
+    for start in range(0, len(order), max(1, chunk_size)):
+        chunk = points[order[start : start + max(1, chunk_size)]]
+        labels, _ = assign_to_centers(chunk, centers)
+        _running_mean_update(centers, counts, chunk, labels)
+    labels, inertia = assign_to_centers(points, centers)
+    return KMeansResult(centers=centers, labels=labels, inertia=inertia, n_iter=1)
+
+
+def _single_pass_loop(
     points: np.ndarray, n_clusters: int, rng: np.random.Generator
 ) -> KMeansResult:
+    """Per-point reference implementation (equivalence tests + bench)."""
     centers = kmeans_plus_plus(points, n_clusters, rng)
     counts = np.ones(n_clusters)  # seeds count as one observation
     order = rng.permutation(len(points))

@@ -12,6 +12,23 @@ a batch at step ``p`` we recursively embed its sampled neighbours at
 step ``p-1`` down to the raw features at step 0, with fan-outs
 ``K_1, ..., K_P`` (the K's of the paper's complexity analysis,
 Section III-D).
+
+Two hot-path optimisations keep this tractable at scale (Section III-D;
+cf. Cascade-BGNN's redundancy elimination):
+
+* **Frontier deduplication** — at every recursion level the flattened
+  id frontier is reduced to its unique vertices with ``np.unique``;
+  each unique vertex is embedded once and the rows are scattered back
+  through the inverse index.  Popular vertices appear many times in a
+  ``K_1 x K_2`` frontier, so this cuts forward *and* backward FLOPs
+  superlinearly with graph skew.  The naive recursion is retained
+  (``dedup=False``) as the reference for equivalence tests and the
+  hot-path benchmark.
+* **Layer-wise full-graph inference** — :meth:`embed_all` computes the
+  step-``p`` matrices for *all* vertices from the cached step-``p-1``
+  matrices, one pass per step, instead of re-expanding the whole
+  receptive field per batch.  The sampled recursive path remains the
+  training path (it builds the autograd graph).
 """
 
 from __future__ import annotations
@@ -84,6 +101,12 @@ class BipartiteGraphSAGE(Module):
             self.user_weight.append(w_u)
             self.item_weight.append(w_i)
         self._sample_rng = derive_rng(rng, 7)
+        # One NeighborSampler per graph, built lazily on first use —
+        # the recursion previously rebuilt a sampler at every step.
+        self._sampler_cache: tuple[BipartiteGraph, NeighborSampler] | None = None
+        # Frontier deduplication toggle; the benchmark harness flips it
+        # off to time the naive recursion.
+        self.dedup_frontier = True
 
     # ------------------------------------------------------------------
     # Embedding computation
@@ -97,23 +120,36 @@ class BipartiteGraphSAGE(Module):
         return self._embed(graph, np.asarray(item_ids), self.config.num_steps, "item")
 
     def embed_all(
-        self, graph: BipartiteGraph, batch_size: int = 2048
+        self, graph: BipartiteGraph, batch_size: int = 2048, mode: str = "layerwise"
     ) -> tuple[np.ndarray, np.ndarray]:
-        """Inference-mode embeddings (Z_u, Z_i) for every vertex."""
+        """Inference-mode embeddings (Z_u, Z_i) for every vertex.
+
+        ``mode="layerwise"`` (default) computes each step for the whole
+        graph from the cached previous-step matrices — O(P·N·K·d) work
+        instead of the recursive path's O(N·K_1·...·K_P·d).  Called at
+        every HiGNN level (Algorithm 1), so it dominates hierarchy-build
+        time.  ``mode="recursive"`` keeps the per-batch recursive
+        expansion as a reference implementation.
+        """
+        if mode not in {"layerwise", "recursive"}:
+            raise ValueError(f"unknown embed_all mode {mode!r}")
         self.eval()
         with no_grad():
-            users = np.concatenate(
-                [
-                    self.embed_users(graph, np.arange(s, min(s + batch_size, graph.num_users))).data
-                    for s in range(0, graph.num_users, batch_size)
-                ]
-            )
-            items = np.concatenate(
-                [
-                    self.embed_items(graph, np.arange(s, min(s + batch_size, graph.num_items))).data
-                    for s in range(0, graph.num_items, batch_size)
-                ]
-            )
+            if mode == "layerwise":
+                users, items = self._embed_all_layerwise(graph, batch_size)
+            else:
+                users = np.concatenate(
+                    [
+                        self.embed_users(graph, np.arange(s, min(s + batch_size, graph.num_users))).data
+                        for s in range(0, graph.num_users, batch_size)
+                    ]
+                )
+                items = np.concatenate(
+                    [
+                        self.embed_items(graph, np.arange(s, min(s + batch_size, graph.num_items))).data
+                        for s in range(0, graph.num_items, batch_size)
+                    ]
+                )
         self.train()
         return users, items
 
@@ -131,10 +167,81 @@ class BipartiteGraphSAGE(Module):
             )
         return feats
 
+    def _sampler(self, graph: BipartiteGraph) -> NeighborSampler:
+        """The cached per-graph sampler (built once, reused everywhere)."""
+        cached = self._sampler_cache
+        if cached is None or cached[0] is not graph or cached[1].rng is not self._sample_rng:
+            # Rebuilt when the graph changes *or* ``_sample_rng`` is
+            # reassigned (tests freeze sampling by swapping the rng).
+            self._sampler_cache = (graph, NeighborSampler(graph, rng=self._sample_rng))
+            cached = self._sampler_cache
+        return cached[1]
+
+    def _step_modules(self, step: int, side: str) -> tuple[Linear, Linear]:
+        """The (M, W) pair for ``step`` on ``side`` (Eqs. 1–4)."""
+        if side == "user":
+            return self.user_transform[step - 1], self.user_weight[step - 1]
+        return self.item_transform[step - 1], self.item_weight[step - 1]
+
     def _embed(
+        self,
+        graph: BipartiteGraph,
+        ids: np.ndarray,
+        step: int,
+        side: str,
+        dedup: bool | None = None,
+    ) -> Tensor:
+        """h^step for ``ids`` on ``side``; -1 ids produce zero rows.
+
+        The default path embeds each *unique* id once and scatters rows
+        back through the inverse index; ``dedup=False`` selects the
+        naive per-occurrence recursion (reference implementation).
+        """
+        if dedup is None:
+            dedup = self.dedup_frontier
+        ids = np.asarray(ids)
+        if not dedup:
+            return self._embed_naive(graph, ids, step, side)
+        mask = ids >= 0
+        safe = np.where(mask, ids, 0)
+        unique, inverse = np.unique(safe, return_inverse=True)
+        out = self._embed_frontier(graph, unique, step, side).gather_rows(inverse)
+        if not mask.all():
+            out = out * mask[:, None].astype(float)
+        return out
+
+    def _embed_frontier(
         self, graph: BipartiteGraph, ids: np.ndarray, step: int, side: str
     ) -> Tensor:
-        """h^step for ``ids`` on ``side``; -1 ids produce zero rows."""
+        """h^step for a frontier of unique, valid ids on ``side``."""
+        cfg = self.config
+        if step == 0:
+            return Tensor(self._features(graph, side)[ids])
+
+        # Own embedding at the previous step (the CONCAT left operand).
+        own_prev = self._embed_frontier(graph, ids, step - 1, side)
+
+        # Sampled neighbour embeddings at the previous step.
+        fanout = cfg.neighbor_samples[cfg.num_steps - step]
+        sampler = self._sampler(graph)
+        if side == "user":
+            neigh = sampler.sample_items_for_users(ids, fanout)
+        else:
+            neigh = sampler.sample_users_for_items(ids, fanout)
+        other = "item" if side == "user" else "user"
+        flat = self._embed(graph, neigh.reshape(-1), step - 1, other)
+        stacked = flat.reshape(len(ids), fanout, flat.shape[1])
+        aggregated = self._aggregate(stacked, neigh >= 0)
+
+        transform, weight = self._step_modules(step, side)
+        transformed = transform(aggregated)  # Eq. 1 / Eq. 2
+        combined = concat([own_prev, transformed], axis=-1)
+        return self.activation(weight(combined))  # Eq. 3 / Eq. 4
+
+    def _embed_naive(
+        self, graph: BipartiteGraph, ids: np.ndarray, step: int, side: str
+    ) -> Tensor:
+        """Reference recursion: every frontier occurrence embedded anew."""
         cfg = self.config
         mask = ids >= 0
         safe = np.where(mask, ids, 0)
@@ -144,32 +251,83 @@ class BipartiteGraphSAGE(Module):
             base[~mask] = 0.0
             return Tensor(base)
 
-        # Own embedding at the previous step (the CONCAT left operand).
-        own_prev = self._embed(graph, ids, step - 1, side)
+        own_prev = self._embed_naive(graph, ids, step - 1, side)
 
-        # Sampled neighbour embeddings at the previous step.
         fanout = cfg.neighbor_samples[cfg.num_steps - step]
-        sampler = NeighborSampler(graph, rng=self._sample_rng)
+        sampler = self._sampler(graph)
         if side == "user":
             neigh = sampler.sample_items_for_users(safe, fanout)
         else:
             neigh = sampler.sample_users_for_items(safe, fanout)
         neigh[~mask] = -1
         other = "item" if side == "user" else "user"
-        flat = self._embed(graph, neigh.reshape(-1), step - 1, other)
-        d_prev = flat.shape[1]
-        stacked = flat.reshape(len(ids), fanout, d_prev)
+        flat = self._embed_naive(graph, neigh.reshape(-1), step - 1, other)
+        stacked = flat.reshape(len(ids), fanout, flat.shape[1])
         aggregated = self._aggregate(stacked, neigh >= 0)
 
-        transform = (
-            self.user_transform[step - 1] if side == "user" else self.item_transform[step - 1]
-        )
-        weight = self.user_weight[step - 1] if side == "user" else self.item_weight[step - 1]
+        transform, weight = self._step_modules(step, side)
         transformed = transform(aggregated)  # Eq. 1 / Eq. 2
         combined = concat([own_prev, transformed], axis=-1)
         out = self.activation(weight(combined))  # Eq. 3 / Eq. 4
         if not mask.all():
             out = out * mask[:, None].astype(float)
+        return out
+
+    # ------------------------------------------------------------------
+    # Layer-wise full-graph inference
+    # ------------------------------------------------------------------
+    def _embed_all_layerwise(
+        self, graph: BipartiteGraph, batch_size: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One pass per step over the whole graph (inference only).
+
+        At step ``p`` every vertex aggregates ``K`` sampled neighbours
+        from the cached step-``p-1`` matrix of the opposite side, so the
+        receptive field is never re-expanded.  Equivalent to the
+        recursive path when sampling is a pure function of the vertex
+        (e.g. exhaustive fan-outs); distributionally equivalent under
+        sampling with replacement.
+        """
+        h_user = self._features(graph, "user")
+        h_item = self._features(graph, "item")
+        cfg = self.config
+        for step in range(1, cfg.num_steps + 1):
+            fanout = cfg.neighbor_samples[cfg.num_steps - step]
+            new_user = self._layerwise_pass(
+                graph, h_user, h_item, step, "user", fanout, batch_size
+            )
+            new_item = self._layerwise_pass(
+                graph, h_item, h_user, step, "item", fanout, batch_size
+            )
+            h_user, h_item = new_user, new_item
+        return h_user, h_item
+
+    def _layerwise_pass(
+        self,
+        graph: BipartiteGraph,
+        own_prev: np.ndarray,
+        other_prev: np.ndarray,
+        step: int,
+        side: str,
+        fanout: int,
+        batch_size: int,
+    ) -> np.ndarray:
+        """Step-``step`` embeddings for every vertex on ``side``."""
+        sampler = self._sampler(graph)
+        n = graph.num_users if side == "user" else graph.num_items
+        transform, weight = self._step_modules(step, side)
+        out = np.empty((n, self.config.embedding_dim), dtype=np.float64)
+        for start in range(0, n, batch_size):
+            chunk = np.arange(start, min(start + batch_size, n))
+            if side == "user":
+                neigh = sampler.sample_items_for_users(chunk, fanout)
+            else:
+                neigh = sampler.sample_users_for_items(chunk, fanout)
+            valid = neigh >= 0
+            stacked = Tensor(other_prev[np.where(valid, neigh, 0)])
+            aggregated = self._aggregate(stacked, valid)
+            combined = concat([Tensor(own_prev[chunk]), transform(aggregated)], axis=-1)
+            out[start : start + len(chunk)] = self.activation(weight(combined)).data
         return out
 
     def _aggregate(self, stacked: Tensor, valid: np.ndarray) -> Tensor:

@@ -144,9 +144,21 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into :attr:`grad`.
+
+        ``owned=True`` promises the caller created ``grad`` exclusively
+        for this call (a fresh temporary no one else references), so it
+        can be adopted without the defensive ``astype(..., copy=True)``.
+        Views of another tensor's gradient and caller-supplied arrays
+        must keep ``owned=False`` or later in-place accumulation would
+        corrupt them.
+        """
         if self.grad is None:
-            self.grad = grad.astype(np.float64, copy=True)
+            if owned and grad.dtype == np.float64:
+                self.grad = grad
+            else:
+                self.grad = grad.astype(np.float64, copy=True)
         else:
             self.grad += grad
 
@@ -154,6 +166,7 @@ class Tensor:
         """Backpropagate from this tensor through the recorded graph."""
         if not self.requires_grad:
             raise RuntimeError("backward() on a tensor that does not require grad")
+        owned = False
         if grad is None:
             if self.data.size != 1:
                 raise RuntimeError(
@@ -161,9 +174,11 @@ class Tensor:
                     "scalar tensor"
                 )
             grad = np.ones_like(self.data)
+            owned = True
         grad = np.asarray(grad, dtype=np.float64)
         if grad.shape != self.data.shape:
             grad = np.broadcast_to(grad, self.data.shape).copy()
+            owned = True
 
         order: list[Tensor] = []
         seen: set[int] = set()
@@ -181,7 +196,7 @@ class Tensor:
                 if parent.requires_grad and id(parent) not in seen:
                     stack.append((parent, False))
 
-        self._accumulate(grad)
+        self._accumulate(grad, owned=owned)
         for node in reversed(order):
             if node._backward is None or node.grad is None:
                 continue
@@ -196,9 +211,13 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad, self.data.shape))
+                g = _unbroadcast(grad, self.data.shape)
+                # An identity unbroadcast passes the child's own gradient
+                # array through; adopting it would alias sibling grads.
+                self._accumulate(g, owned=g is not grad)
             if other_t.requires_grad:
-                other_t._accumulate(_unbroadcast(grad, other_t.data.shape))
+                g = _unbroadcast(grad, other_t.data.shape)
+                other_t._accumulate(g, owned=g is not grad)
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -207,15 +226,27 @@ class Tensor:
     def __neg__(self) -> "Tensor":
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(-grad)
+                self._accumulate(-grad, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
-        return self + (-(other if isinstance(other, Tensor) else Tensor(_as_array(other))))
+        # A single fused node (not neg + add): one graph node and no
+        # intermediate -other temporary on the forward pass.
+        other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
+        out_data = self.data - other_t.data
+
+        def backward(grad: np.ndarray) -> None:
+            if self.requires_grad:
+                g = _unbroadcast(grad, self.data.shape)
+                self._accumulate(g, owned=g is not grad)
+            if other_t.requires_grad:
+                other_t._accumulate(-_unbroadcast(grad, other_t.data.shape), owned=True)
+
+        return Tensor._make(out_data, (self, other_t), backward)
 
     def __rsub__(self, other: "float | np.ndarray") -> "Tensor":
-        return Tensor(_as_array(other)) + (-self)
+        return Tensor(_as_array(other)) - self
 
     def __mul__(self, other: "Tensor | float | np.ndarray") -> "Tensor":
         other_t = other if isinstance(other, Tensor) else Tensor(_as_array(other))
@@ -223,9 +254,13 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad * other_t.data, self.data.shape))
+                self._accumulate(
+                    _unbroadcast(grad * other_t.data, self.data.shape), owned=True
+                )
             if other_t.requires_grad:
-                other_t._accumulate(_unbroadcast(grad * self.data, other_t.data.shape))
+                other_t._accumulate(
+                    _unbroadcast(grad * self.data, other_t.data.shape), owned=True
+                )
 
         return Tensor._make(out_data, (self, other_t), backward)
 
@@ -237,10 +272,13 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(_unbroadcast(grad / other_t.data, self.data.shape))
+                self._accumulate(
+                    _unbroadcast(grad / other_t.data, self.data.shape), owned=True
+                )
             if other_t.requires_grad:
                 other_t._accumulate(
-                    _unbroadcast(-grad * self.data / (other_t.data**2), other_t.data.shape)
+                    _unbroadcast(-grad * self.data / (other_t.data**2), other_t.data.shape),
+                    owned=True,
                 )
 
         return Tensor._make(out_data, (self, other_t), backward)
@@ -255,7 +293,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * exponent * self.data ** (exponent - 1))
+                self._accumulate(grad * exponent * self.data ** (exponent - 1), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -270,44 +308,46 @@ class Tensor:
 
             def backward(grad: np.ndarray) -> None:
                 if self.requires_grad:
-                    self._accumulate(grad @ other_t.data.T)
+                    self._accumulate(grad @ other_t.data.T, owned=True)
                 if other_t.requires_grad:
-                    other_t._accumulate(self.data.T @ grad)
+                    other_t._accumulate(self.data.T @ grad, owned=True)
 
         elif a_nd == 2 and b_nd == 1:
 
             def backward(grad: np.ndarray) -> None:
                 if self.requires_grad:
-                    self._accumulate(np.outer(grad, other_t.data))
+                    self._accumulate(np.outer(grad, other_t.data), owned=True)
                 if other_t.requires_grad:
-                    other_t._accumulate(self.data.T @ grad)
+                    other_t._accumulate(self.data.T @ grad, owned=True)
 
         elif a_nd == 1 and b_nd == 2:
 
             def backward(grad: np.ndarray) -> None:
                 if self.requires_grad:
-                    self._accumulate(other_t.data @ grad)
+                    self._accumulate(other_t.data @ grad, owned=True)
                 if other_t.requires_grad:
-                    other_t._accumulate(np.outer(self.data, grad))
+                    other_t._accumulate(np.outer(self.data, grad), owned=True)
 
         elif a_nd == 1 and b_nd == 1:
 
             def backward(grad: np.ndarray) -> None:
                 if self.requires_grad:
-                    self._accumulate(grad * other_t.data)
+                    self._accumulate(grad * other_t.data, owned=True)
                 if other_t.requires_grad:
-                    other_t._accumulate(grad * self.data)
+                    other_t._accumulate(grad * self.data, owned=True)
 
         elif a_nd == 3 and b_nd == 3:
 
             def backward(grad: np.ndarray) -> None:
                 if self.requires_grad:
                     self._accumulate(
-                        _unbroadcast(grad @ other_t.data.swapaxes(-1, -2), self.data.shape)
+                        _unbroadcast(grad @ other_t.data.swapaxes(-1, -2), self.data.shape),
+                        owned=True,
                     )
                 if other_t.requires_grad:
                     other_t._accumulate(
-                        _unbroadcast(self.data.swapaxes(-1, -2) @ grad, other_t.data.shape)
+                        _unbroadcast(self.data.swapaxes(-1, -2) @ grad, other_t.data.shape),
+                        owned=True,
                     )
 
         else:
@@ -330,7 +370,7 @@ class Tensor:
             if axis is not None and not keepdims:
                 axes = (axis,) if isinstance(axis, int) else axis
                 g = np.expand_dims(g, tuple(a % self.data.ndim for a in axes))
-            self._accumulate(np.broadcast_to(g, self.data.shape).copy())
+            self._accumulate(np.broadcast_to(g, self.data.shape).copy(), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -356,7 +396,7 @@ class Tensor:
             mask = self.data == out
             # Split gradient evenly among ties so the op stays well defined.
             counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            self._accumulate(mask * g / counts)
+            self._accumulate(mask * g / counts, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -368,7 +408,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data)
+                self._accumulate(grad * out_data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -377,7 +417,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad / self.data)
+                self._accumulate(grad / self.data, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -389,7 +429,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * (1.0 - out_data**2))
+                self._accumulate(grad * (1.0 - out_data**2), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -401,7 +441,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * out_data * (1.0 - out_data))
+                self._accumulate(grad * out_data * (1.0 - out_data), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -411,7 +451,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -421,7 +461,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * np.where(mask, 1.0, negative_slope))
+                self._accumulate(grad * np.where(mask, 1.0, negative_slope), owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -431,7 +471,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * mask)
+                self._accumulate(grad * mask, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -441,7 +481,7 @@ class Tensor:
 
         def backward(grad: np.ndarray) -> None:
             if self.requires_grad:
-                self._accumulate(grad * sign)
+                self._accumulate(grad * sign, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -484,7 +524,7 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, index, grad)
-                self._accumulate(full)
+                self._accumulate(full, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -501,7 +541,7 @@ class Tensor:
             if self.requires_grad:
                 full = np.zeros_like(self.data)
                 np.add.at(full, idx, grad)
-                self._accumulate(full)
+                self._accumulate(full, owned=True)
 
         return Tensor._make(out_data, (self,), backward)
 
@@ -549,9 +589,9 @@ def where(condition: np.ndarray, a: Tensor, b: Tensor) -> Tensor:
 
     def backward(grad: np.ndarray) -> None:
         if a.requires_grad:
-            a._accumulate(_unbroadcast(grad * cond, a.data.shape))
+            a._accumulate(_unbroadcast(grad * cond, a.data.shape), owned=True)
         if b.requires_grad:
-            b._accumulate(_unbroadcast(grad * ~cond, b.data.shape))
+            b._accumulate(_unbroadcast(grad * ~cond, b.data.shape), owned=True)
 
     return Tensor._make(out_data, (a, b), backward)
 

@@ -1,0 +1,266 @@
+"""Hot-path micro-benchmark harness (``BENCH_hotpaths.json``).
+
+The paper's complexity analysis (Section III-D) puts the cost of one
+HiGNN level in three loops: recursive neighbour embedding, neighbour
+sampling, and K-means.  Each of those hot paths now has a
+batch-efficient implementation *and* a retained reference
+implementation, so this harness can report honest before/after numbers:
+
+* ``embed_all`` — naive recursive inference (``before``) vs the
+  dedup-frontier recursion (``recursive_dedup``) vs layer-wise
+  full-graph inference (``after``).
+* ``train_epoch`` — one training epoch with the naive recursion vs the
+  dedup frontier.
+* ``weighted_sampling`` — per-row cumulative-weight loop vs the batched
+  ``searchsorted`` sampler.
+* ``kmeans`` — per-point single-pass / mini-batch loops vs the chunked
+  vectorised updates.
+
+All workloads are seeded, so repeated runs time identical work; only
+the wall-clock figures vary with the machine.  The JSON report is
+written to the repo root (``BENCH_hotpaths.json``) so the perf
+trajectory is tracked across PRs — see README.md "Performance".
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Callable
+
+import numpy as np
+
+SCHEMA = "repro/hotpath-bench/v1"
+DEFAULT_REPORT = "BENCH_hotpaths.json"
+
+# (num_users, num_items, num_edges) per benchmarked graph.
+GRAPH_SIZES: dict[str, list[tuple[int, int, int]]] = {
+    "quick": [(300, 200, 1500), (900, 600, 5400)],
+    "full": [(300, 200, 1500), (1500, 1000, 9000), (4000, 2500, 30000)],
+}
+# (n_points, dim, k) per K-means workload.
+KMEANS_SIZES: dict[str, list[tuple[int, int, int]]] = {
+    "quick": [(1500, 16, 24)],
+    "full": [(1500, 16, 24), (6000, 32, 48)],
+}
+
+__all__ = ["bench_hotpaths", "write_report", "render_report", "SCHEMA", "DEFAULT_REPORT"]
+
+
+def _best_of(fn: Callable[[], Any], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` calls."""
+    best = float("inf")
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _graph(size: tuple[int, int, int], feature_dim: int, seed: int):
+    from repro.graph.generators import random_bipartite
+
+    users, items, edges = size
+    return random_bipartite(users, items, edges, feature_dim=feature_dim, rng=seed)
+
+
+def _graph_meta(size: tuple[int, int, int]) -> dict[str, int]:
+    return {"num_users": size[0], "num_items": size[1], "num_edges": size[2]}
+
+
+def _sage_module(graph, seed: int):
+    from repro.core.sage import BipartiteGraphSAGE
+    from repro.utils.config import SageConfig
+
+    cfg = SageConfig(embedding_dim=16, neighbor_samples=(10, 5))
+    return BipartiteGraphSAGE(
+        graph.user_features.shape[1], graph.item_features.shape[1], cfg, rng=seed
+    )
+
+
+def _bench_embed_all(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
+    rows = []
+    for size in GRAPH_SIZES[mode]:
+        graph = _graph(size, feature_dim=8, seed=seed)
+        module = _sage_module(graph, seed)
+
+        def run(embed_mode: str, dedup: bool):
+            module.dedup_frontier = dedup
+            try:
+                module.embed_all(graph, mode=embed_mode)
+            finally:
+                module.dedup_frontier = True
+
+        before = _best_of(lambda: run("recursive", False), repeats)
+        dedup = _best_of(lambda: run("recursive", True), repeats)
+        after = _best_of(lambda: run("layerwise", True), repeats)
+        rows.append(
+            {
+                "graph": _graph_meta(size),
+                "before_s": round(before, 6),
+                "recursive_dedup_s": round(dedup, 6),
+                "after_s": round(after, 6),
+                "speedup": round(before / after, 2),
+            }
+        )
+    return rows
+
+
+def _bench_train_epoch(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
+    from repro.core.trainer import SageTrainer
+    from repro.utils.config import TrainConfig
+
+    size = GRAPH_SIZES[mode][0]
+    graph = _graph(size, feature_dim=8, seed=seed)
+    tcfg = TrainConfig(epochs=1, batch_size=512)
+
+    def run(dedup: bool) -> None:
+        module = _sage_module(graph, seed)
+        module.dedup_frontier = dedup
+        SageTrainer(module, graph, tcfg, rng=seed).fit()
+
+    before = _best_of(lambda: run(False), repeats)
+    after = _best_of(lambda: run(True), repeats)
+    return [
+        {
+            "graph": _graph_meta(size),
+            "epochs": tcfg.epochs,
+            "batch_size": tcfg.batch_size,
+            "before_s": round(before, 6),
+            "after_s": round(after, 6),
+            "speedup": round(before / after, 2),
+        }
+    ]
+
+
+def _bench_weighted_sampling(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
+    from repro.graph.sampling import NeighborSampler
+
+    rows = []
+    fanout = 10
+    for size in GRAPH_SIZES[mode]:
+        graph = _graph(size, feature_dim=4, seed=seed)
+        vertices = np.arange(graph.num_users)
+        sampler = NeighborSampler(graph, rng=seed, weighted=True)
+        before = _best_of(
+            lambda: sampler._sample_reference(vertices, fanout, "user"), repeats
+        )
+        after = _best_of(
+            lambda: sampler.sample_items_for_users(vertices, fanout), repeats
+        )
+        rows.append(
+            {
+                "graph": _graph_meta(size),
+                "batch": int(len(vertices)),
+                "fanout": fanout,
+                "before_s": round(before, 6),
+                "after_s": round(after, 6),
+                "speedup": round(before / after, 2),
+            }
+        )
+    return rows
+
+
+def _bench_kmeans(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
+    from repro.clustering.kmeans import (
+        _minibatch,
+        _minibatch_loop,
+        _single_pass,
+        _single_pass_loop,
+    )
+    from repro.utils.config import KMeansConfig
+
+    rows = []
+    for n, dim, k in KMEANS_SIZES[mode]:
+        points = np.random.default_rng(seed).normal(size=(n, dim))
+        single_before = _best_of(
+            lambda: _single_pass_loop(points, k, np.random.default_rng(seed)), repeats
+        )
+        single_after = _best_of(
+            lambda: _single_pass(points, k, np.random.default_rng(seed)), repeats
+        )
+        rows.append(
+            {
+                "variant": "single_pass",
+                "n": n,
+                "dim": dim,
+                "k": k,
+                "before_s": round(single_before, 6),
+                "after_s": round(single_after, 6),
+                "speedup": round(single_before / single_after, 2),
+            }
+        )
+        cfg = KMeansConfig(algorithm="minibatch", max_iter=20, batch_size=256)
+        mb_before = _best_of(
+            lambda: _minibatch_loop(points, k, cfg, np.random.default_rng(seed)), repeats
+        )
+        mb_after = _best_of(
+            lambda: _minibatch(points, k, cfg, np.random.default_rng(seed)), repeats
+        )
+        rows.append(
+            {
+                "variant": "minibatch",
+                "n": n,
+                "dim": dim,
+                "k": k,
+                "before_s": round(mb_before, 6),
+                "after_s": round(mb_after, 6),
+                "speedup": round(mb_before / mb_after, 2),
+            }
+        )
+    return rows
+
+
+def bench_hotpaths(mode: str = "quick", seed: int = 0, repeats: int = 3) -> dict[str, Any]:
+    """Time every hot path and return the report dict.
+
+    ``mode`` selects the workload grid (``quick`` for CI smoke, ``full``
+    for the tracked record); ``seed`` fixes every workload so runs are
+    comparable; ``repeats`` takes the best of N timings.
+    """
+    if mode not in GRAPH_SIZES:
+        raise ValueError(f"unknown bench mode {mode!r} (use 'quick' or 'full')")
+    return {
+        "schema": SCHEMA,
+        "mode": mode,
+        "seed": seed,
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "benchmarks": {
+            "embed_all": _bench_embed_all(mode, seed, repeats),
+            "train_epoch": _bench_train_epoch(mode, seed, repeats),
+            "weighted_sampling": _bench_weighted_sampling(mode, seed, repeats),
+            "kmeans": _bench_kmeans(mode, seed, repeats),
+        },
+    }
+
+
+def write_report(report: dict[str, Any], path: str | Path = DEFAULT_REPORT) -> Path:
+    """Write ``report`` as stable, human-diffable JSON; returns the path."""
+    path = Path(path)
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Plain-text table of every benchmark row (before/after/speedup)."""
+    lines = [
+        f"hot-path benchmark — mode={report['mode']} seed={report['seed']} "
+        f"repeats={report['repeats']} (numpy {report['numpy']})",
+        f"{'benchmark':<20} {'workload':<28} {'before':>10} {'after':>10} {'speedup':>8}",
+    ]
+    for name, rows in report["benchmarks"].items():
+        for row in rows:
+            if "graph" in row:
+                g = row["graph"]
+                workload = f"{g['num_users']}x{g['num_items']} e={g['num_edges']}"
+            else:
+                workload = f"{row['variant']} n={row['n']} k={row['k']}"
+            lines.append(
+                f"{name:<20} {workload:<28} {row['before_s']:>9.4f}s "
+                f"{row['after_s']:>9.4f}s {row['speedup']:>7.2f}x"
+            )
+    return "\n".join(lines)

@@ -65,6 +65,7 @@ class KMeansConfig:
     max_iter: int = 50
     tol: float = 1e-4
     batch_size: int = 1024  # minibatch variant only
+    chunk_size: int = 256  # single_pass variant: points assigned per chunk
     n_init: int = 1
     auto_k: bool = False  # pick k via Calinski-Harabasz (Eq. 13)
     auto_k_candidates: tuple[int, ...] = ()
@@ -74,6 +75,8 @@ class KMeansConfig:
             raise ValueError(f"unknown kmeans algorithm {self.algorithm!r}")
         if self.max_iter < 1:
             raise ValueError("max_iter must be >= 1")
+        if self.chunk_size < 1:
+            raise ValueError("chunk_size must be >= 1")
 
 
 @dataclass

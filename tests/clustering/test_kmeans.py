@@ -129,3 +129,87 @@ def test_property_inertia_nonnegative_and_centers_finite(seed, k):
     assert result.inertia >= 0
     assert np.all(np.isfinite(result.centers))
     assert len(result.labels) == 25
+
+
+class TestVectorisedVariantsMatchLoops:
+    """The chunked/vectorised updates are regression-tested against the
+    retained per-point reference loops."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_pass_chunk1_bitwise_equal(self, seed):
+        from repro.clustering.kmeans import _single_pass, _single_pass_loop
+
+        points = np.random.default_rng(seed).normal(size=(80, 5))
+        fast = _single_pass(points, 7, np.random.default_rng(seed), chunk_size=1)
+        slow = _single_pass_loop(points, 7, np.random.default_rng(seed))
+        np.testing.assert_array_equal(fast.labels, slow.labels)
+        np.testing.assert_array_equal(fast.centers, slow.centers)
+        assert fast.inertia == slow.inertia
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_single_pass_chunked_close_to_loop(self, seed):
+        from repro.clustering.kmeans import _single_pass, _single_pass_loop
+
+        points, _ = _blobs(n_per=40, k=4, dim=3, seed=seed)
+        fast = _single_pass(points, 4, np.random.default_rng(seed))
+        slow = _single_pass_loop(points, 4, np.random.default_rng(seed))
+        # Chunked assignment uses stale centres within a chunk, so only
+        # the clustering quality (not the arithmetic) is expected to agree.
+        assert fast.centers.shape == slow.centers.shape
+        assert fast.inertia <= 1.5 * slow.inertia + 1e-9
+        assert len(np.unique(fast.labels)) == len(np.unique(slow.labels))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_minibatch_matches_loop(self, seed):
+        from repro.clustering.kmeans import _minibatch, _minibatch_loop
+
+        points, _ = _blobs(n_per=30, k=3, dim=4, seed=seed)
+        cfg = KMeansConfig(algorithm="minibatch", max_iter=10, batch_size=32)
+        fast = _minibatch(points, 3, cfg, np.random.default_rng(seed))
+        slow = _minibatch_loop(points, 3, cfg, np.random.default_rng(seed))
+        np.testing.assert_allclose(fast.centers, slow.centers, atol=1e-9)
+        np.testing.assert_array_equal(fast.labels, slow.labels)
+
+    def test_running_mean_update_is_running_mean(self):
+        from repro.clustering.kmeans import _running_mean_update
+
+        centers = np.zeros((2, 2))
+        counts = np.array([1.0, 1.0])
+        batch = np.array([[2.0, 2.0], [4.0, 4.0], [9.0, 9.0]])
+        labels = np.array([0, 0, 1])
+        _running_mean_update(centers, counts, batch, labels)
+        # centre 0 absorbs two points: ((0*1)+2+4)/(1+2) = 2
+        np.testing.assert_allclose(centers[0], [2.0, 2.0])
+        np.testing.assert_allclose(centers[1], [4.5, 4.5])
+        np.testing.assert_array_equal(counts, [3.0, 2.0])
+
+
+class TestDistinctClamp:
+    def test_duplicates_still_clamp(self):
+        points = np.tile(np.array([[1.0, 2.0], [3.0, 4.0]]), (5, 1))
+        result = kmeans(points, n_clusters=5, rng=0)
+        assert result.n_clusters == 2
+        assert len(np.unique(result.labels)) == 2
+
+    def test_projection_collision_does_not_overclamp(self):
+        # Rows chosen to collide under the 1-D screening projection; the
+        # clamp must fall back to exact row uniqueness and keep k=2.
+        points = np.array([[1.0, 2.0], [2.0, 1.5], [1.0, 2.0], [2.0, 1.5]])
+        result = kmeans(points, n_clusters=2, rng=0)
+        assert result.n_clusters == 2
+
+    def test_distinct_points_skip_unique_scan(self, monkeypatch):
+        import importlib
+
+        km = importlib.import_module("repro.clustering.kmeans")
+        points, _ = _blobs(n_per=20, k=3, dim=4, seed=1)
+        real_unique = np.unique
+
+        def guarded(arr, *args, **kwargs):
+            if kwargs.get("axis") == 0:
+                raise AssertionError("np.unique(points, axis=0) should be skipped")
+            return real_unique(arr, *args, **kwargs)
+
+        monkeypatch.setattr(km.np, "unique", guarded)
+        result = km.kmeans(points, n_clusters=3, rng=0)
+        assert result.n_clusters == 3

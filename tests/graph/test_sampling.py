@@ -125,3 +125,44 @@ class TestEdgeBatches:
             for u, _, _ in sample_edge_batches(small_random_graph, 5, shuffle=False)
         ]
         assert a == b
+
+
+class TestWeightedSamplerEquivalence:
+    """The batched searchsorted sampler must reproduce the per-row loop
+    bit-for-bit: both consume the same rng draw stream, so picks match."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_reference_bitwise(self, seed):
+        g = random_bipartite(40, 30, 200, rng=seed)
+        vertices = np.arange(g.num_users)
+        fast = NeighborSampler(g, rng=seed, weighted=True)
+        slow = NeighborSampler(g, rng=seed, weighted=True)
+        got = fast.sample_items_for_users(vertices, fanout=6)
+        want = slow._sample_reference(vertices, fanout=6, side="user")
+        np.testing.assert_array_equal(got, want)
+
+    def test_matches_reference_item_side(self):
+        g = random_bipartite(25, 35, 150, rng=3)
+        vertices = np.arange(g.num_items)
+        fast = NeighborSampler(g, rng=7, weighted=True)
+        slow = NeighborSampler(g, rng=7, weighted=True)
+        got = fast.sample_users_for_items(vertices, fanout=4)
+        want = slow._sample_reference(vertices, fanout=4, side="item")
+        np.testing.assert_array_equal(got, want)
+
+    def test_matches_reference_with_isolated_and_duplicate_vertices(self):
+        g = BipartiteGraph(
+            5, 4, np.array([[0, 0], [0, 1], [2, 3]]), np.array([1.0, 3.0, 2.0])
+        )
+        vertices = np.array([0, 1, 0, 4, 2, 2])  # 1 and 4 are isolated
+        fast = NeighborSampler(g, rng=11, weighted=True)
+        slow = NeighborSampler(g, rng=11, weighted=True)
+        got = fast.sample_items_for_users(vertices, fanout=5)
+        want = slow._sample_reference(vertices, fanout=5, side="user")
+        np.testing.assert_array_equal(got, want)
+        assert np.all(got[[1, 3]] == -1)
+
+    def test_reference_requires_weighted(self, small_random_graph):
+        sampler = NeighborSampler(small_random_graph, rng=0, weighted=False)
+        with pytest.raises(RuntimeError):
+            sampler._sample_reference(np.arange(3), fanout=2, side="user")

@@ -284,3 +284,60 @@ class TestProperties:
     def test_sigmoid_bounded(self, arr):
         out = Tensor(arr).sigmoid().data
         assert np.all((out > 0) & (out < 1))
+
+
+# ----------------------------------------------------------------------
+# Gradient-buffer ownership and the fused subtract node
+# ----------------------------------------------------------------------
+class TestAccumulateOwnership:
+    def test_sub_is_a_single_node(self):
+        a, b = _param((3, 3)), _param((3, 3), seed=1)
+        out = a - b
+        assert out._parents == (a, b)
+
+    def test_rsub_gradcheck(self):
+        a = _param((2, 3))
+        check_gradient(lambda: (1.5 - a).sum(), [a])
+
+    def test_rsub_value(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        assert np.allclose((5.0 - a).data, [4.0, 3.0])
+
+    def test_sub_broadcast_gradcheck(self):
+        a, b = _param((3, 4)), _param((4,), seed=1)
+        check_gradient(lambda: (a - b).sum(), [a, b])
+
+    def test_sibling_gradients_not_aliased(self):
+        # When _unbroadcast is the identity (same shapes), both parents
+        # of a + b receive the *same* incoming array; adopting it as a
+        # gradient buffer for both would let one parent's later
+        # accumulation corrupt the other.
+        a, b = _param((4,)), _param((4,), seed=1)
+        c = a + b
+        f = a * 3.0
+        (c.sum() + f.sum()).backward()
+        assert np.allclose(b.grad, np.ones(4))
+        assert np.allclose(a.grad, 4.0 * np.ones(4))
+
+    def test_sub_sibling_gradients_not_aliased(self):
+        a, b = _param((4,)), _param((4,), seed=1)
+        c = a - b
+        f = a * 3.0
+        (c.sum() + f.sum()).backward()
+        assert np.allclose(b.grad, -np.ones(4))
+        assert np.allclose(a.grad, 4.0 * np.ones(4))
+
+    def test_view_backward_does_not_alias_root_gradient(self):
+        # reshape/transpose backwards pass views of the incoming grad;
+        # accumulating them must copy, not adopt.
+        a = _param((2, 3))
+        out = a.reshape(3, 2)
+        seed_grad = np.ones((3, 2))
+        out.backward(seed_grad)
+        a.grad += 1.0  # must not write through into seed_grad
+        assert np.allclose(seed_grad, 1.0)
+
+    def test_repeated_accumulation_still_correct(self):
+        a = _param((3,))
+        ((a - 1.0).sum() + (2.0 - a).sum() + (a * a).sum()).backward()
+        assert np.allclose(a.grad, 2.0 * a.data)

@@ -42,3 +42,36 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "ge=" in out
+
+    def test_bench_writes_report(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        from repro.utils import bench
+
+        # Shrink the workload grid: this exercises the wiring, not perf.
+        monkeypatch.setitem(bench.GRAPH_SIZES, "quick", [(40, 30, 120)])
+        monkeypatch.setitem(bench.KMEANS_SIZES, "quick", [(60, 4, 5)])
+        out = tmp_path / "bench.json"
+        code = main(["bench", "--mode", "quick", "--repeats", "1",
+                     "--out", str(out)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "hot-path benchmark" in printed
+        assert f"wrote {out}" in printed
+        data = json.loads(out.read_text())
+        assert data["schema"] == bench.SCHEMA
+        assert set(data["benchmarks"]) == {
+            "embed_all", "train_epoch", "weighted_sampling", "kmeans"
+        }
+
+
+class TestBenchParser:
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.mode == "quick"
+        assert args.out == "BENCH_hotpaths.json"
+        assert args.repeats == 3
+
+    def test_bench_rejects_unknown_mode(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "--mode", "huge"])
