@@ -26,12 +26,20 @@ def test_hotpath_bench_writes_tracked_report(report):
 
     data = json.loads(path.read_text())
     assert data["schema"] == SCHEMA
+    assert "git_commit" in data
     benches = data["benchmarks"]
     assert set(benches) == {"embed_all", "train_epoch", "weighted_sampling", "kmeans"}
     for rows in benches.values():
         assert rows
         for row in rows:
             assert row["before_s"] > 0 and row["after_s"] > 0
+
+    # v2 counter-derived throughput: present and nonzero on every row of
+    # the instrumented hot paths.
+    for row in benches["embed_all"]:
+        assert row["vertices_per_sec"] > 0
+    for row in benches["weighted_sampling"]:
+        assert row["samples_per_sec"] > 0
 
     # Regression guards, deliberately looser than the typical speedups
     # (>5x embed_all, >10x sampling here) so noisy CI boxes don't flake.

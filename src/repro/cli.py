@@ -12,6 +12,16 @@ Each subcommand regenerates one of the paper's experiments at the
 chosen scale and prints the result table.  For the full reproducible
 record, run the benchmark suite instead (``pytest benchmarks/
 --benchmark-only``).
+
+Observability flags (see README "Observability"):
+
+* ``--trace PATH`` (stats/table3/taxonomy/ab) runs the command under a
+  :mod:`repro.obs` session, writes a Chrome trace-event JSON to PATH
+  (open in Perfetto or ``chrome://tracing``) plus a flat dump next to
+  it, and prints span/metrics summary tables.
+* ``--log-level LEVEL`` / ``-v`` installs a stream handler on the
+  ``repro`` logger so library progress logging (e.g.
+  ``TrainConfig.log_every``) reaches the terminal.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default="BENCH_hotpaths.json")
+    _logging_flags(bench)
 
     return parser
 
@@ -66,6 +77,29 @@ def build_parser() -> argparse.ArgumentParser:
 def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", default="small", choices=("tiny", "small", "default"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="record a trace: Chrome trace-event JSON to PATH + summary tables",
+    )
+    _logging_flags(parser)
+
+
+def _logging_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--log-level",
+        default=None,
+        choices=("debug", "info", "warning", "error"),
+        help="install a stream handler on the 'repro' logger at this level",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="shorthand: -v = info, -vv = debug",
+    )
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -204,9 +238,45 @@ _COMMANDS = {
 }
 
 
+def _setup_logging(args: argparse.Namespace) -> None:
+    level = args.log_level
+    if level is None and args.verbose:
+        level = "debug" if args.verbose > 1 else "info"
+    if level is not None:
+        from repro.utils.logging import configure_logging
+
+        configure_logging(level)
+
+
+def _run_traced(args: argparse.Namespace) -> int:
+    """Run the command inside an obs session and export the trace."""
+    from pathlib import Path
+
+    from repro import obs
+
+    trace_path = Path(args.trace)
+    with obs.observe() as session:
+        with obs.span(
+            f"cli.{args.command}", size=getattr(args, "size", None), seed=args.seed
+        ):
+            code = _COMMANDS[args.command](args)
+        session.write_chrome_trace(trace_path)
+        flat_path = trace_path.with_name(trace_path.stem + ".flat.json")
+        session.write_flat_trace(flat_path)
+        print(f"\nwrote trace {trace_path} (flat dump: {flat_path})")
+        print("\n== span summary ==")
+        print(session.span_summary())
+        print("\n== metrics ==")
+        print(session.metrics_summary())
+    return code
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    _setup_logging(args)
+    if getattr(args, "trace", None):
+        return _run_traced(args)
     return _COMMANDS[args.command](args)
 
 

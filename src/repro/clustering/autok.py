@@ -10,6 +10,7 @@ import numpy as np
 
 from repro.clustering.kmeans import KMeansResult, kmeans
 from repro.clustering.validity import calinski_harabasz
+from repro.obs import span
 from repro.utils.config import KMeansConfig
 from repro.utils.rng import derive_rng, ensure_rng
 
@@ -30,14 +31,16 @@ def select_k(
         raise ValueError("candidates must be non-empty")
     rng = ensure_rng(rng)
     points = np.asarray(points, dtype=np.float64)
-    scores: dict[int, float] = {}
-    for k in candidates:
-        if k < 2 or k >= len(points):
-            scores[k] = 0.0
-            continue
-        result = kmeans(points, k, config=config, rng=derive_rng(rng, k))
-        scores[k] = calinski_harabasz(points, result.labels)
-    best = max(scores, key=lambda k: scores[k])
+    with span("kmeans.select_k", candidates=list(map(int, candidates))) as kspan:
+        scores: dict[int, float] = {}
+        for k in candidates:
+            if k < 2 or k >= len(points):
+                scores[k] = 0.0
+                continue
+            result = kmeans(points, k, config=config, rng=derive_rng(rng, k))
+            scores[k] = calinski_harabasz(points, result.labels)
+        best = max(scores, key=lambda k: scores[k])
+        kspan.set(best_k=int(best))
     return best, scores
 
 

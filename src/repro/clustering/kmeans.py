@@ -19,6 +19,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.obs import span
+from repro.obs.metrics import counter_add
 from repro.utils.config import KMeansConfig
 from repro.utils.rng import ensure_rng
 
@@ -74,17 +76,28 @@ def kmeans(
         raise ValueError("n_clusters must be >= 1")
     n_clusters = _clamp_to_distinct(points, n_clusters)
 
-    best: KMeansResult | None = None
-    for _ in range(max(1, config.n_init)):
-        if config.algorithm == "lloyd":
-            result = _lloyd(points, n_clusters, config, rng)
-        elif config.algorithm == "minibatch":
-            result = _minibatch(points, n_clusters, config, rng)
-        else:
-            result = _single_pass(points, n_clusters, rng, config.chunk_size)
-        if best is None or result.inertia < best.inertia:
-            best = result
-    assert best is not None
+    with span(
+        "kmeans",
+        algorithm=config.algorithm,
+        n=len(points),
+        k=n_clusters,
+        n_init=max(1, config.n_init),
+    ) as kspan:
+        best: KMeansResult | None = None
+        for _ in range(max(1, config.n_init)):
+            if config.algorithm == "lloyd":
+                result = _lloyd(points, n_clusters, config, rng)
+            elif config.algorithm == "minibatch":
+                result = _minibatch(points, n_clusters, config, rng)
+            else:
+                result = _single_pass(points, n_clusters, rng, config.chunk_size)
+            counter_add("kmeans.iterations", result.n_iter)
+            if best is None or result.inertia < best.inertia:
+                best = result
+        assert best is not None
+        counter_add("kmeans.runs", 1)
+        counter_add("kmeans.points_assigned", len(points))
+        kspan.set(n_iter=best.n_iter, inertia=best.inertia)
     return best
 
 
@@ -146,7 +159,9 @@ def _lloyd(
     labels, inertia = assign_to_centers(points, centers)
     for iteration in range(1, config.max_iter + 1):
         centers = _recompute_centers(points, labels, centers, rng)
-        labels, new_inertia = assign_to_centers(points, centers)
+        new_labels, new_inertia = assign_to_centers(points, centers)
+        counter_add("kmeans.reassignments", int((new_labels != labels).sum()))
+        labels = new_labels
         if abs(inertia - new_inertia) <= config.tol * max(inertia, 1e-12):
             inertia = new_inertia
             break

@@ -22,6 +22,7 @@ from repro.core.sage import BipartiteGraphSAGE
 from repro.core.trainer import SageTrainer
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.coarsen import coarsen
+from repro.obs import span
 from repro.utils.config import HiGNNConfig
 from repro.utils.logging import get_logger
 from repro.utils.rng import derive_rng, ensure_rng
@@ -64,16 +65,18 @@ class HiGNN:
         self.modules_ = []
         hierarchy = HierarchicalEmbeddings()
         current = graph
-        for level in range(1, cfg.levels + 1):
-            record = self._run_level(current, level)
-            hierarchy.levels.append(record)
-            current = record.coarse_graph
-            if (
-                current.num_users <= cfg.min_clusters
-                or current.num_items <= cfg.min_clusters
-            ):
-                logger.info("stopping early at level %d: graph degenerated", level)
-                break
+        with span("hignn.fit", levels=cfg.levels) as fit_span:
+            for level in range(1, cfg.levels + 1):
+                record = self._run_level(current, level)
+                hierarchy.levels.append(record)
+                current = record.coarse_graph
+                if (
+                    current.num_users <= cfg.min_clusters
+                    or current.num_items <= cfg.min_clusters
+                ):
+                    logger.info("stopping early at level %d: graph degenerated", level)
+                    break
+            fit_span.set(levels_built=len(hierarchy.levels))
         return hierarchy
 
     # ------------------------------------------------------------------
@@ -87,20 +90,43 @@ class HiGNN:
             graph.num_items,
             graph.num_edges,
         )
-        module = BipartiteGraphSAGE(
-            user_dim=graph.user_features.shape[1],
-            item_dim=graph.item_features.shape[1],
-            config=cfg.sage,
-            rng=derive_rng(rng, 1),
+        level_span = span(
+            "hignn.level",
+            level=level,
+            num_users=graph.num_users,
+            num_items=graph.num_items,
+            num_edges=graph.num_edges,
         )
-        trainer = SageTrainer(module, graph, cfg.train, rng=derive_rng(rng, 2))
-        trainer.fit()
-        self.modules_.append(module)
-        z_users, z_items = module.embed_all(graph)
+        with level_span:
+            module = BipartiteGraphSAGE(
+                user_dim=graph.user_features.shape[1],
+                item_dim=graph.item_features.shape[1],
+                config=cfg.sage,
+                rng=derive_rng(rng, 1),
+            )
+            trainer = SageTrainer(module, graph, cfg.train, rng=derive_rng(rng, 2))
+            with span("hignn.train", level=level) as train_span:
+                train_result = trainer.fit()
+                train_span.set(final_loss=train_result.final_loss)
+            self.modules_.append(module)
+            z_users, z_items = module.embed_all(graph)
 
-        user_labels = self._cluster(z_users, graph.num_users, level, "user", derive_rng(rng, 3))
-        item_labels = self._cluster(z_items, graph.num_items, level, "item", derive_rng(rng, 4))
-        result = coarsen(graph, user_labels, item_labels, z_users, z_items)
+            with span("hignn.cluster", level=level, side="user") as cspan:
+                user_labels = self._cluster(
+                    z_users, graph.num_users, level, "user", derive_rng(rng, 3)
+                )
+                cspan.set(n_clusters=int(user_labels.max()) + 1)
+            with span("hignn.cluster", level=level, side="item") as cspan:
+                item_labels = self._cluster(
+                    z_items, graph.num_items, level, "item", derive_rng(rng, 4)
+                )
+                cspan.set(n_clusters=int(item_labels.max()) + 1)
+            with span("hignn.coarsen", level=level):
+                result = coarsen(graph, user_labels, item_labels, z_users, z_items)
+            level_span.set(
+                coarse_users=result.graph.num_users,
+                coarse_items=result.graph.num_items,
+            )
         logger.info(
             "level %d: coarsened to %d x %d",
             level,

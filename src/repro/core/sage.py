@@ -38,6 +38,8 @@ import numpy as np
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.sampling import NeighborSampler
 from repro.nn.layers import Activation, Linear, Module
+from repro.obs import span
+from repro.obs.metrics import counter_add, observe
 from repro.nn.tensor import Tensor, concat, no_grad, where
 from repro.utils.config import SageConfig
 from repro.utils.rng import derive_rng, ensure_rng
@@ -134,7 +136,12 @@ class BipartiteGraphSAGE(Module):
         if mode not in {"layerwise", "recursive"}:
             raise ValueError(f"unknown embed_all mode {mode!r}")
         self.eval()
-        with no_grad():
+        with span(
+            "sage.embed_all",
+            mode=mode,
+            num_users=graph.num_users,
+            num_items=graph.num_items,
+        ), no_grad():
             if mode == "layerwise":
                 users, items = self._embed_all_layerwise(graph, batch_size)
             else:
@@ -201,10 +208,14 @@ class BipartiteGraphSAGE(Module):
             dedup = self.dedup_frontier
         ids = np.asarray(ids)
         if not dedup:
+            counter_add("sage.vertices_embedded", len(ids))
+            observe("sage.frontier_size", len(ids))
             return self._embed_naive(graph, ids, step, side)
         mask = ids >= 0
         safe = np.where(mask, ids, 0)
         unique, inverse = np.unique(safe, return_inverse=True)
+        counter_add("sage.vertices_embedded", len(unique))
+        observe("sage.frontier_size", len(unique))
         out = self._embed_frontier(graph, unique, step, side).gather_rows(inverse)
         if not mask.all():
             out = out * mask[:, None].astype(float)
@@ -316,9 +327,11 @@ class BipartiteGraphSAGE(Module):
         sampler = self._sampler(graph)
         n = graph.num_users if side == "user" else graph.num_items
         transform, weight = self._step_modules(step, side)
+        counter_add("sage.vertices_embedded", n)
         out = np.empty((n, self.config.embedding_dim), dtype=np.float64)
         for start in range(0, n, batch_size):
             chunk = np.arange(start, min(start + batch_size, n))
+            observe("sage.frontier_size", len(chunk))
             if side == "user":
                 neigh = sampler.sample_items_for_users(chunk, fanout)
             else:

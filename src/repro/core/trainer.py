@@ -9,6 +9,7 @@ optimiser named in :class:`repro.utils.config.TrainConfig`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 
 import numpy as np
 
@@ -17,6 +18,8 @@ from repro.core.sage import BipartiteGraphSAGE
 from repro.graph.bipartite import BipartiteGraph
 from repro.graph.sampling import NegativeSampler, sample_edge_batches
 from repro.nn.losses import l2_penalty
+from repro.obs import span
+from repro.obs.metrics import counter_add
 from repro.nn.optim import build_optimizer, clip_grad_norm
 from repro.utils.config import SageConfig, TrainConfig
 from repro.utils.logging import get_logger
@@ -70,16 +73,28 @@ class SageTrainer:
         tcfg = self.train_config
         for epoch in range(tcfg.epochs):
             losses = []
-            batches = sample_edge_batches(
-                self.graph, tcfg.batch_size, rng=derive_rng(self.rng, 10 + epoch)
-            )
-            for step, (users, items, weights) in enumerate(batches):
-                losses.append(self._step(users, items, weights))
-                if tcfg.log_every and (step + 1) % tcfg.log_every == 0:
-                    logger.info(
-                        "epoch %d step %d loss %.4f", epoch, step + 1, losses[-1]
-                    )
-            mean_loss = float(np.mean(losses)) if losses else float("nan")
+            edges_seen = 0
+            t0 = perf_counter()
+            with span("train.epoch", epoch=epoch) as epoch_span:
+                batches = sample_edge_batches(
+                    self.graph, tcfg.batch_size, rng=derive_rng(self.rng, 10 + epoch)
+                )
+                for step, (users, items, weights) in enumerate(batches):
+                    losses.append(self._step(users, items, weights))
+                    edges_seen += len(users)
+                    if tcfg.log_every and (step + 1) % tcfg.log_every == 0:
+                        logger.info(
+                            "epoch %d step %d loss %.4f", epoch, step + 1, losses[-1]
+                        )
+                mean_loss = float(np.mean(losses)) if losses else float("nan")
+                elapsed = perf_counter() - t0
+                epoch_span.set(
+                    loss=mean_loss,
+                    edges=edges_seen,
+                    edges_per_sec=edges_seen / elapsed if elapsed > 0 else 0.0,
+                )
+            counter_add("train.edges_seen", edges_seen)
+            counter_add("train.epochs", 1)
             result.epoch_losses.append(mean_loss)
             logger.info("epoch %d mean loss %.4f", epoch, mean_loss)
         return result

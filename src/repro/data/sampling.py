@@ -42,7 +42,9 @@ def replicate_to_ratio(
     n_neg = samples.num_negative
     if n_pos == 0 or n_neg / n_pos <= negatives_per_positive:
         return samples
-    target_pos = int(round(n_neg / negatives_per_positive))
+    # ceil, not round: rounding down can leave the realised ratio above
+    # the target (e.g. 21 negatives at 9.0 -> 2 positives is 10.5:1).
+    target_pos = int(np.ceil(n_neg / negatives_per_positive))
     pos_idx = np.flatnonzero(samples.labels == 1)
     full_copies, remainder = divmod(target_pos, n_pos)
     replicated = [pos_idx] * full_copies

@@ -14,6 +14,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs import span
+from repro.obs.metrics import counter_add
 
 __all__ = ["CoarseningResult", "coarsen"]
 
@@ -60,20 +62,33 @@ def coarsen(
     n_user_clusters = int(user_assignment.max()) + 1
     n_item_clusters = int(item_assignment.max()) + 1
 
-    user_feats = _cluster_means(user_embeddings, user_assignment, n_user_clusters)
-    item_feats = _cluster_means(item_embeddings, item_assignment, n_item_clusters)
+    with span(
+        "coarsen",
+        num_users=graph.num_users,
+        num_items=graph.num_items,
+        num_edges=graph.num_edges,
+    ) as cspan:
+        user_feats = _cluster_means(user_embeddings, user_assignment, n_user_clusters)
+        item_feats = _cluster_means(item_embeddings, item_assignment, n_item_clusters)
 
-    # Aggregate edge weights per (user-cluster, item-cluster) pair (Eq. 6).
-    edges = graph.edges
-    cu = user_assignment[edges[:, 0]]
-    ci = item_assignment[edges[:, 1]]
-    pair_key = cu * n_item_clusters + ci
-    unique_keys, inverse = np.unique(pair_key, return_inverse=True)
-    summed = np.zeros(len(unique_keys))
-    np.add.at(summed, inverse, graph.edge_weights)
-    coarse_edges = np.column_stack(
-        [unique_keys // n_item_clusters, unique_keys % n_item_clusters]
-    )
+        # Aggregate edge weights per (user-cluster, item-cluster) pair (Eq. 6).
+        edges = graph.edges
+        cu = user_assignment[edges[:, 0]]
+        ci = item_assignment[edges[:, 1]]
+        pair_key = cu * n_item_clusters + ci
+        unique_keys, inverse = np.unique(pair_key, return_inverse=True)
+        summed = np.zeros(len(unique_keys))
+        np.add.at(summed, inverse, graph.edge_weights)
+        coarse_edges = np.column_stack(
+            [unique_keys // n_item_clusters, unique_keys % n_item_clusters]
+        )
+        cspan.set(
+            coarse_users=n_user_clusters,
+            coarse_items=n_item_clusters,
+            coarse_edges=len(coarse_edges),
+        )
+        counter_add("coarsen.edges_merged", graph.num_edges - len(coarse_edges))
+        counter_add("coarsen.runs", 1)
 
     coarse = BipartiteGraph(
         num_users=n_user_clusters,

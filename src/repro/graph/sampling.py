@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.graph.bipartite import BipartiteGraph
+from repro.obs.metrics import counter_add
 from repro.utils.rng import ensure_rng
 
 __all__ = ["NeighborSampler", "NegativeSampler", "sample_edge_batches"]
@@ -62,6 +63,8 @@ class NeighborSampler:
         if fanout <= 0:
             raise ValueError("fanout must be positive")
         vertices = np.asarray(vertices, dtype=np.int64)
+        counter_add("sampler.samples_drawn", len(vertices) * fanout)
+        counter_add("sampler.batches", 1)
         csr = self.graph._user_csr if side == "user" else self.graph._item_csr
         starts = csr.indptr[vertices]
         degrees = csr.indptr[vertices + 1] - starts
@@ -169,12 +172,14 @@ class NegativeSampler:
 
     def sample_users(self, size: int) -> np.ndarray:
         """Draw ``size`` negative user ids from P_n(u)."""
+        counter_add("sampler.negatives_drawn", size)
         return self.rng.choice(
             self.graph.num_users, size=size, replace=True, p=self._user_probs
         )
 
     def sample_items(self, size: int) -> np.ndarray:
         """Draw ``size`` negative item ids from P_n(i)."""
+        counter_add("sampler.negatives_drawn", size)
         return self.rng.choice(
             self.graph.num_items, size=size, replace=True, p=self._item_probs
         )

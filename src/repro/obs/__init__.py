@@ -1,0 +1,137 @@
+"""Observability: tracing spans, runtime metrics and exporters.
+
+The layer every subsystem reports through (Section III-D names the cost
+drivers: recursive neighbour embedding, neighbour sampling, K-means —
+all instrumented here).  Typical use::
+
+    from repro import obs
+
+    with obs.observe() as session:
+        HiGNN(config, seed=0).fit(graph)
+    session.write_chrome_trace("trace.json")   # Perfetto / chrome://tracing
+    print(session.span_summary())
+    print(session.metrics_summary())
+
+Instrumentation left in library code is free when no session is active:
+:func:`span` returns a shared no-op and :func:`counter_add` /
+:func:`observe_value` / :func:`gauge_set` return after one global read
+(see ``tests/obs/test_overhead.py`` for the bench guard).
+"""
+
+from __future__ import annotations
+
+import contextlib
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.obs.export import (
+    TRACE_SCHEMA,
+    chrome_trace,
+    flat_trace,
+    metrics_summary_table,
+    span_summary_table,
+    write_chrome_trace,
+    write_flat_trace,
+)
+from repro.obs.metrics import (
+    MetricsRegistry,
+    counter_add,
+    current_registry,
+    gauge_set,
+    install_registry,
+    metrics_enabled,
+    uninstall_registry,
+)
+from repro.obs.metrics import observe as observe_value
+from repro.obs.trace import (
+    Span,
+    Tracer,
+    current_tracer,
+    install_tracer,
+    span,
+    traced,
+    tracing_enabled,
+    uninstall_tracer,
+)
+
+__all__ = [
+    "ObsSession",
+    "observe",
+    "span",
+    "traced",
+    "counter_add",
+    "gauge_set",
+    "observe_value",
+    "Span",
+    "Tracer",
+    "MetricsRegistry",
+    "tracing_enabled",
+    "metrics_enabled",
+    "current_tracer",
+    "current_registry",
+    "install_tracer",
+    "uninstall_tracer",
+    "install_registry",
+    "uninstall_registry",
+    "chrome_trace",
+    "flat_trace",
+    "write_chrome_trace",
+    "write_flat_trace",
+    "span_summary_table",
+    "metrics_summary_table",
+    "TRACE_SCHEMA",
+]
+
+
+class ObsSession:
+    """One enabled observability window: a tracer plus a registry."""
+
+    def __init__(self, tracer: Tracer, registry: MetricsRegistry) -> None:
+        self.tracer = tracer
+        self.registry = registry
+
+    def chrome_trace(self) -> dict[str, Any]:
+        return chrome_trace(self.tracer, self.registry)
+
+    def flat_trace(self) -> dict[str, Any]:
+        return flat_trace(self.tracer, self.registry)
+
+    def write_chrome_trace(self, path: str | Path) -> Path:
+        return write_chrome_trace(self.tracer, path, self.registry)
+
+    def write_flat_trace(self, path: str | Path) -> Path:
+        return write_flat_trace(self.tracer, path, self.registry)
+
+    def span_summary(self) -> str:
+        return span_summary_table(self.tracer)
+
+    def metrics_summary(self) -> str:
+        return metrics_summary_table(self.registry)
+
+    def counter(self, name: str) -> float:
+        return self.registry.counter(name)
+
+
+@contextlib.contextmanager
+def observe() -> Iterator[ObsSession]:
+    """Enable tracing + metrics for the duration of the block.
+
+    Installs a fresh tracer and registry globally, restoring whatever
+    was installed before on exit (sessions therefore nest: the inner
+    session shadows the outer one for its duration).
+    """
+    prev_tracer = current_tracer()
+    prev_registry = current_registry()
+    session = ObsSession(install_tracer(), install_registry())
+    try:
+        yield session
+    finally:
+        session.tracer.close()
+        if prev_tracer is None:
+            uninstall_tracer()
+        else:
+            install_tracer(prev_tracer)
+        if prev_registry is None:
+            uninstall_registry()
+        else:
+            install_registry(prev_registry)

@@ -1,0 +1,126 @@
+"""Runtime metrics registry: counters, gauges and histograms.
+
+Counters accumulate monotonically (``vertices_embedded``,
+``samples_drawn``), gauges hold the last written value, and histograms
+keep streaming summary statistics (count/sum/min/max) — enough for
+throughput and distribution reporting without storing every sample.
+
+Like :mod:`repro.obs.trace`, call sites go through module-level helpers
+(:func:`counter_add`, :func:`gauge_set`, :func:`observe`) that check a
+module-global registry; with none installed each call is one global
+read and a ``None`` test, cheap enough to leave in hot loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__all__ = [
+    "MetricsRegistry",
+    "counter_add",
+    "gauge_set",
+    "observe",
+    "current_registry",
+    "install_registry",
+    "uninstall_registry",
+    "metrics_enabled",
+]
+
+
+class MetricsRegistry:
+    """Named counters, gauges and streaming histograms."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        # name -> [count, sum, min, max]
+        self.histograms: dict[str, list[float]] = {}
+
+    def counter_add(self, name: str, value: float = 1.0) -> None:
+        self.counters[name] = self.counters.get(name, 0.0) + value
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauges[name] = float(value)
+
+    def observe(self, name: str, value: float) -> None:
+        stats = self.histograms.get(name)
+        if stats is None:
+            self.histograms[name] = [1.0, float(value), float(value), float(value)]
+        else:
+            stats[0] += 1.0
+            stats[1] += value
+            if value < stats[2]:
+                stats[2] = float(value)
+            if value > stats[3]:
+                stats[3] = float(value)
+
+    def counter(self, name: str) -> float:
+        """Current counter value (0 if never incremented)."""
+        return self.counters.get(name, 0.0)
+
+    def snapshot(self) -> dict[str, Any]:
+        """JSON-ready dump of every metric."""
+        return {
+            "counters": {k: self.counters[k] for k in sorted(self.counters)},
+            "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "histograms": {
+                name: {
+                    "count": int(stats[0]),
+                    "sum": stats[1],
+                    "min": stats[2],
+                    "max": stats[3],
+                    "mean": stats[1] / stats[0] if stats[0] else 0.0,
+                }
+                for name, stats in sorted(self.histograms.items())
+            },
+        }
+
+
+# ---------------------------------------------------------------------------
+# Module-level fast path
+# ---------------------------------------------------------------------------
+_REGISTRY: MetricsRegistry | None = None
+
+
+def counter_add(name: str, value: float = 1.0) -> None:
+    """Increment counter ``name`` on the active registry (no-op if none)."""
+    registry = _REGISTRY
+    if registry is not None:
+        registry.counter_add(name, value)
+
+
+def gauge_set(name: str, value: float) -> None:
+    """Set gauge ``name`` on the active registry (no-op if none)."""
+    registry = _REGISTRY
+    if registry is not None:
+        registry.gauge_set(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active registry (no-op if none)."""
+    registry = _REGISTRY
+    if registry is not None:
+        registry.observe(name, value)
+
+
+def current_registry() -> MetricsRegistry | None:
+    """The installed registry, or None while metrics are disabled."""
+    return _REGISTRY
+
+
+def metrics_enabled() -> bool:
+    return _REGISTRY is not None
+
+
+def install_registry(registry: MetricsRegistry | None = None) -> MetricsRegistry:
+    """Install (and return) the module-global registry."""
+    global _REGISTRY
+    _REGISTRY = registry or MetricsRegistry()
+    return _REGISTRY
+
+
+def uninstall_registry() -> MetricsRegistry | None:
+    """Remove the global registry; returns it."""
+    global _REGISTRY
+    registry, _REGISTRY = _REGISTRY, None
+    return registry

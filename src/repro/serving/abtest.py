@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.synthetic import GroundTruth
+from repro.obs import span
 from repro.serving.environment import OnlineEnvironment, Recommender, ServingMetrics
 from repro.utils.rng import derive_rng, ensure_rng
 
@@ -87,19 +88,20 @@ def run_ab_test(
     num_users = len(truth.user_affinity)
     report = ABTestReport()
     for day in range(num_days):
-        day_rng = derive_rng(rng, day)
-        visitors = day_rng.integers(0, num_users, size=visitors_per_day)
-        half = visitors_per_day // 2
-        env_control = OnlineEnvironment(
-            truth, candidate_items, rng=derive_rng(day_rng, 1)
-        )
-        env_treatment = OnlineEnvironment(
-            truth, candidate_items, rng=derive_rng(day_rng, 2)
-        )
-        metrics_control = env_control.run_day(control, visitors[:half], slate_size)
-        metrics_treatment = env_treatment.run_day(
-            treatment, visitors[half:], slate_size
-        )
+        with span("serving.ab_day", day=day, visitors=visitors_per_day):
+            day_rng = derive_rng(rng, day)
+            visitors = day_rng.integers(0, num_users, size=visitors_per_day)
+            half = visitors_per_day // 2
+            env_control = OnlineEnvironment(
+                truth, candidate_items, rng=derive_rng(day_rng, 1)
+            )
+            env_treatment = OnlineEnvironment(
+                truth, candidate_items, rng=derive_rng(day_rng, 2)
+            )
+            metrics_control = env_control.run_day(control, visitors[:half], slate_size)
+            metrics_treatment = env_treatment.run_day(
+                treatment, visitors[half:], slate_size
+            )
         report.days.append(
             ABDayResult(day=day, control=metrics_control, treatment=metrics_treatment)
         )

@@ -17,6 +17,8 @@ import numpy as np
 
 from repro.data.synthetic import GroundTruth, WorldConfig
 from repro.data.synthetic_text import QueryItemDataset
+from repro.obs import span
+from repro.obs.metrics import counter_add
 from repro.prediction.cvr_model import CVRModel
 from repro.prediction.features import FeatureAssembler
 from repro.taxonomy.builder import Taxonomy
@@ -41,12 +43,14 @@ def cvr_score_table(
     candidate_items = np.asarray(candidate_items, dtype=np.int64)
     n_cand = len(candidate_items)
     table = np.zeros((num_users, n_cand))
-    for start in range(0, num_users, batch_users):
-        stop = min(start + batch_users, num_users)
-        users = np.repeat(np.arange(start, stop), n_cand)
-        items = np.tile(candidate_items, stop - start)
-        feats = assembler.assemble(users, items)
-        table[start:stop] = model.predict_proba(feats).reshape(stop - start, n_cand)
+    with span("serving.score_table", num_users=num_users, num_candidates=n_cand):
+        for start in range(0, num_users, batch_users):
+            stop = min(start + batch_users, num_users)
+            users = np.repeat(np.arange(start, stop), n_cand)
+            items = np.tile(candidate_items, stop - start)
+            feats = assembler.assemble(users, items)
+            table[start:stop] = model.predict_proba(feats).reshape(stop - start, n_cand)
+            counter_add("serving.pairs_scored", (stop - start) * n_cand)
     return table
 
 

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.obs.metrics import counter_add
 from repro.serving.environment import Recommender
 from repro.taxonomy.builder import Taxonomy
 from repro.utils.rng import ensure_rng
@@ -34,6 +35,7 @@ class ScoreTableRecommender(Recommender):
         self._candidates = candidate_items
 
     def recommend(self, user: int, k: int) -> np.ndarray:
+        counter_add("serving.recommendations", 1)
         return self._candidates[self._ranked[user, :k]]
 
 
@@ -46,6 +48,7 @@ class PopularityRecommender(Recommender):
         self._ranked_items = candidate_items[order]
 
     def recommend(self, user: int, k: int) -> np.ndarray:
+        counter_add("serving.recommendations", 1)
         return self._ranked_items[:k]
 
 
@@ -85,6 +88,7 @@ class TaxonomyRecommender(Recommender):
         return items
 
     def recommend(self, user: int, k: int) -> np.ndarray:
+        counter_add("serving.recommendations", 1)
         slate: list[int] = []
         seen: set[int] = set()
         topics = list(self.user_topics.get(int(user), []))

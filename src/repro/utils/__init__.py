@@ -7,7 +7,7 @@ from repro.utils.config import (
     SageConfig,
     TrainConfig,
 )
-from repro.utils.logging import get_logger
+from repro.utils.logging import configure_logging, get_logger, reset_logging
 from repro.utils.timer import Timer
 from repro.utils.tables import format_table
 
@@ -20,6 +20,8 @@ __all__ = [
     "SageConfig",
     "TrainConfig",
     "get_logger",
+    "configure_logging",
+    "reset_logging",
     "Timer",
     "format_table",
 ]

@@ -20,19 +20,28 @@ All workloads are seeded, so repeated runs time identical work; only
 the wall-clock figures vary with the machine.  The JSON report is
 written to the repo root (``BENCH_hotpaths.json``) so the perf
 trajectory is tracked across PRs — see README.md "Performance".
+
+Schema v2 stamps each report with the git commit it was produced at
+(so the BENCH_* trajectory is attributable across PRs) and adds
+counter-derived throughput columns — vertices/sec, samples/sec,
+edges/sec — measured by re-running each "after" workload once under a
+:mod:`repro.obs` session and dividing the observed work counters by the
+best wall time.  :func:`load_report` still reads v1 files.
 """
 
 from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import time
 from pathlib import Path
 from typing import Any, Callable
 
 import numpy as np
 
-SCHEMA = "repro/hotpath-bench/v1"
+SCHEMA = "repro/hotpath-bench/v2"
+SCHEMA_V1 = "repro/hotpath-bench/v1"
 DEFAULT_REPORT = "BENCH_hotpaths.json"
 
 # (num_users, num_items, num_edges) per benchmarked graph.
@@ -46,7 +55,16 @@ KMEANS_SIZES: dict[str, list[tuple[int, int, int]]] = {
     "full": [(1500, 16, 24), (6000, 32, 48)],
 }
 
-__all__ = ["bench_hotpaths", "write_report", "render_report", "SCHEMA", "DEFAULT_REPORT"]
+__all__ = [
+    "bench_hotpaths",
+    "write_report",
+    "load_report",
+    "render_report",
+    "git_commit",
+    "SCHEMA",
+    "SCHEMA_V1",
+    "DEFAULT_REPORT",
+]
 
 
 def _best_of(fn: Callable[[], Any], repeats: int) -> float:
@@ -57,6 +75,36 @@ def _best_of(fn: Callable[[], Any], repeats: int) -> float:
         fn()
         best = min(best, time.perf_counter() - t0)
     return best
+
+
+def git_commit() -> str | None:
+    """The current commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def _counter_during(fn: Callable[[], Any], name: str) -> float:
+    """Run ``fn`` once under an obs session; return counter ``name``.
+
+    Used to derive throughput honestly: the counted run is separate
+    from the timed runs, so instrumentation never perturbs the timings,
+    while the work counts themselves are deterministic per workload.
+    """
+    from repro import obs
+
+    with obs.observe() as session:
+        fn()
+    return session.counter(name)
 
 
 def _graph(size: tuple[int, int, int], feature_dim: int, seed: int):
@@ -96,6 +144,9 @@ def _bench_embed_all(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]
         before = _best_of(lambda: run("recursive", False), repeats)
         dedup = _best_of(lambda: run("recursive", True), repeats)
         after = _best_of(lambda: run("layerwise", True), repeats)
+        vertices = _counter_during(
+            lambda: run("layerwise", True), "sage.vertices_embedded"
+        )
         rows.append(
             {
                 "graph": _graph_meta(size),
@@ -103,6 +154,8 @@ def _bench_embed_all(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]
                 "recursive_dedup_s": round(dedup, 6),
                 "after_s": round(after, 6),
                 "speedup": round(before / after, 2),
+                "vertices_embedded": int(vertices),
+                "vertices_per_sec": round(vertices / after, 1),
             }
         )
     return rows
@@ -123,6 +176,7 @@ def _bench_train_epoch(mode: str, seed: int, repeats: int) -> list[dict[str, Any
 
     before = _best_of(lambda: run(False), repeats)
     after = _best_of(lambda: run(True), repeats)
+    edges = _counter_during(lambda: run(True), "train.edges_seen")
     return [
         {
             "graph": _graph_meta(size),
@@ -131,6 +185,8 @@ def _bench_train_epoch(mode: str, seed: int, repeats: int) -> list[dict[str, Any
             "before_s": round(before, 6),
             "after_s": round(after, 6),
             "speedup": round(before / after, 2),
+            "edges_seen": int(edges),
+            "edges_per_sec": round(edges / after, 1),
         }
     ]
 
@@ -150,6 +206,10 @@ def _bench_weighted_sampling(mode: str, seed: int, repeats: int) -> list[dict[st
         after = _best_of(
             lambda: sampler.sample_items_for_users(vertices, fanout), repeats
         )
+        samples = _counter_during(
+            lambda: sampler.sample_items_for_users(vertices, fanout),
+            "sampler.samples_drawn",
+        )
         rows.append(
             {
                 "graph": _graph_meta(size),
@@ -158,6 +218,8 @@ def _bench_weighted_sampling(mode: str, seed: int, repeats: int) -> list[dict[st
                 "before_s": round(before, 6),
                 "after_s": round(after, 6),
                 "speedup": round(before / after, 2),
+                "samples_drawn": int(samples),
+                "samples_per_sec": round(samples / after, 1),
             }
         )
     return rows
@@ -224,6 +286,7 @@ def bench_hotpaths(mode: str = "quick", seed: int = 0, repeats: int = 3) -> dict
         raise ValueError(f"unknown bench mode {mode!r} (use 'quick' or 'full')")
     return {
         "schema": SCHEMA,
+        "git_commit": git_commit(),
         "mode": mode,
         "seed": seed,
         "repeats": repeats,
@@ -245,12 +308,32 @@ def write_report(report: dict[str, Any], path: str | Path = DEFAULT_REPORT) -> P
     return path
 
 
+def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any]:
+    """Read a report, upgrading v1 files to the v2 shape in memory.
+
+    v1 reports predate the commit stamp and throughput columns; the
+    loader fills ``git_commit`` with None and leaves rows as-is (v2
+    columns are optional per-row), so consumers only handle one shape.
+    """
+    report = json.loads(Path(path).read_text())
+    schema = report.get("schema")
+    if schema == SCHEMA_V1:
+        report["schema"] = SCHEMA
+        report.setdefault("git_commit", None)
+    elif schema != SCHEMA:
+        raise ValueError(f"unknown bench report schema {schema!r} in {path}")
+    return report
+
+
 def render_report(report: dict[str, Any]) -> str:
     """Plain-text table of every benchmark row (before/after/speedup)."""
+    commit = report.get("git_commit")
     lines = [
         f"hot-path benchmark — mode={report['mode']} seed={report['seed']} "
-        f"repeats={report['repeats']} (numpy {report['numpy']})",
-        f"{'benchmark':<20} {'workload':<28} {'before':>10} {'after':>10} {'speedup':>8}",
+        f"repeats={report['repeats']} (numpy {report['numpy']}, "
+        f"commit {commit[:12] if commit else 'unknown'})",
+        f"{'benchmark':<20} {'workload':<28} {'before':>10} {'after':>10} "
+        f"{'speedup':>8} {'throughput':>16}",
     ]
     for name, rows in report["benchmarks"].items():
         for row in rows:
@@ -259,8 +342,17 @@ def render_report(report: dict[str, Any]) -> str:
                 workload = f"{g['num_users']}x{g['num_items']} e={g['num_edges']}"
             else:
                 workload = f"{row['variant']} n={row['n']} k={row['k']}"
+            throughput = ""
+            for key, unit in (
+                ("vertices_per_sec", "vert/s"),
+                ("samples_per_sec", "smp/s"),
+                ("edges_per_sec", "edge/s"),
+            ):
+                if key in row:
+                    throughput = f"{row[key]:,.0f} {unit}"
+                    break
             lines.append(
                 f"{name:<20} {workload:<28} {row['before_s']:>9.4f}s "
-                f"{row['after_s']:>9.4f}s {row['speedup']:>7.2f}x"
+                f"{row['after_s']:>9.4f}s {row['speedup']:>7.2f}x {throughput:>16}"
             )
     return "\n".join(lines)

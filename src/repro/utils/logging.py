@@ -3,16 +3,26 @@
 The library never configures the root logger; it only attaches a
 ``NullHandler`` so downstream applications stay in control of log output.
 ``get_logger`` namespaces everything under ``repro.``.
+
+Applications (e.g. the CLI's ``--log-level`` flag) opt into visible
+output with :func:`configure_logging`, which installs exactly one
+stream handler on the ``repro`` logger — calling it again only adjusts
+the level, so repeated configuration never duplicates lines.
 """
 
 from __future__ import annotations
 
 import logging
+import sys
+from typing import IO
 
-__all__ = ["get_logger"]
+__all__ = ["get_logger", "configure_logging", "reset_logging"]
 
 _ROOT = logging.getLogger("repro")
 _ROOT.addHandler(logging.NullHandler())
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+_stream_handler: logging.Handler | None = None
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -22,3 +32,39 @@ def get_logger(name: str) -> logging.Logger:
     if name.startswith("repro.") or name == "repro":
         return logging.getLogger(name)
     return logging.getLogger(f"repro.{name}")
+
+
+def configure_logging(
+    level: int | str = "info", stream: IO[str] | None = None
+) -> logging.Handler:
+    """Install (or re-level) a stream handler on the ``repro`` logger.
+
+    ``level`` is a logging constant or a case-insensitive name
+    (``"debug"``, ``"info"``, ...).  ``stream`` defaults to stderr.
+    Returns the handler so callers/tests can detach it.
+    """
+    global _stream_handler
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    if _stream_handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        _ROOT.addHandler(handler)
+        _stream_handler = handler
+    elif stream is not None:
+        _stream_handler.setStream(stream)
+    _stream_handler.setLevel(level)
+    _ROOT.setLevel(level)
+    return _stream_handler
+
+
+def reset_logging() -> None:
+    """Detach the handler installed by :func:`configure_logging`."""
+    global _stream_handler
+    if _stream_handler is not None:
+        _ROOT.removeHandler(_stream_handler)
+        _stream_handler = None
+    _ROOT.setLevel(logging.NOTSET)

@@ -8,29 +8,73 @@ __all__ = ["Timer"]
 
 
 class Timer:
-    """Context manager measuring elapsed wall-clock seconds.
+    """Stopwatch measuring elapsed wall-clock seconds.
+
+    Works as a context manager or via explicit :meth:`start` /
+    :meth:`stop`.  Elapsed time *accumulates* across start/stop cycles
+    (re-entering resumes rather than silently resetting); use
+    :meth:`reset` or :meth:`restart` to zero the clock.
 
     Example::
 
         with Timer() as t:
             expensive()
         print(t.elapsed)
+
+        t.start()          # resume: t.elapsed keeps growing
+        more_work()
+        t.stop()
     """
 
     def __init__(self) -> None:
-        self.start: float | None = None
+        self._start: float | None = None
+        self._ever_started = False
         self.elapsed: float = 0.0
 
-    def __enter__(self) -> "Timer":
-        self.start = time.perf_counter()
+    @property
+    def running(self) -> bool:
+        """True between a start and the matching stop."""
+        return self._start is not None
+
+    def start(self) -> "Timer":
+        """Start (or resume) the clock; no-op if already running."""
+        if self._start is None:
+            self._start = time.perf_counter()
+            self._ever_started = True
         return self
 
-    def __exit__(self, *exc_info: object) -> None:
-        if self.start is not None:
-            self.elapsed = time.perf_counter() - self.start
+    def stop(self) -> float:
+        """Stop the clock, folding the run into ``elapsed``; returns it."""
+        if self._start is not None:
+            self.elapsed += time.perf_counter() - self._start
+            self._start = None
+        return self.elapsed
+
+    def reset(self) -> "Timer":
+        """Zero the clock and stop it."""
+        self._start = None
+        self._ever_started = False
+        self.elapsed = 0.0
+        return self
+
+    def restart(self) -> "Timer":
+        """Zero the clock and immediately start it."""
+        return self.reset().start()
 
     def lap(self) -> float:
-        """Seconds since ``__enter__`` without stopping the timer."""
-        if self.start is None:
-            raise RuntimeError("Timer.lap() called outside context")
-        return time.perf_counter() - self.start
+        """Total elapsed seconds so far, without stopping the timer.
+
+        While running this includes the in-flight interval; after a stop
+        it equals ``elapsed``.  Raises if the timer was never started.
+        """
+        if not self._ever_started:
+            raise RuntimeError("Timer.lap() called before the timer ever started")
+        if self._start is None:
+            return self.elapsed
+        return self.elapsed + (time.perf_counter() - self._start)
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

@@ -1,0 +1,83 @@
+"""Exporters: Chrome trace events, flat dump, summary tables."""
+
+import json
+
+import numpy as np
+
+from repro import obs
+
+
+def _session_with_work():
+    with obs.observe() as session:
+        with obs.span("outer", level=np.int64(1)):
+            with obs.span("inner"):
+                obs.counter_add("work_done", 10)
+        obs.observe_value("sizes", 4.0)
+    return session
+
+
+class TestChromeTrace:
+    def test_events_shape(self):
+        doc = _session_with_work().chrome_trace()
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0 and event["dur"] >= 0
+            assert {"pid", "tid", "args"} <= set(event)
+
+    def test_child_interval_contained_in_parent(self):
+        events = _session_with_work().chrome_trace()["traceEvents"]
+        outer, inner = events
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-3
+
+    def test_metrics_block_and_json_round_trip(self, tmp_path):
+        session = _session_with_work()
+        path = session.write_chrome_trace(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["metrics"]["counters"]["work_done"] == 10
+        assert doc["metrics"]["histograms"]["sizes"]["count"] == 1
+
+    def test_numpy_attrs_coerced(self, tmp_path):
+        session = _session_with_work()
+        doc = json.loads(session.write_chrome_trace(tmp_path / "t.json").read_text())
+        assert doc["traceEvents"][0]["args"]["level"] == 1
+
+
+class TestFlatTrace:
+    def test_depth_and_path(self, tmp_path):
+        session = _session_with_work()
+        doc = json.loads(session.write_flat_trace(tmp_path / "flat.json").read_text())
+        spans = {s["name"]: s for s in doc["spans"]}
+        assert spans["outer"]["depth"] == 0
+        assert spans["inner"]["depth"] == 1
+        assert spans["inner"]["path"] == "outer/inner"
+        assert spans["outer"]["num_children"] == 1
+        assert doc["schema"] == obs.TRACE_SCHEMA
+
+
+class TestSummaryTables:
+    def test_span_summary_aggregates(self):
+        with obs.observe() as session:
+            for _ in range(3):
+                with obs.span("repeated"):
+                    pass
+        table = session.span_summary()
+        assert "repeated" in table
+        assert " 3 " in table  # call count column
+
+    def test_metrics_summary_lists_all_kinds(self):
+        with obs.observe() as session:
+            obs.counter_add("c", 1)
+            obs.gauge_set("g", 2)
+            obs.observe_value("h", 3)
+        table = session.metrics_summary()
+        for token in ("counter", "gauge", "histogram", "c", "g", "h"):
+            assert token in table
+
+    def test_empty_session_tables_render(self):
+        with obs.observe() as session:
+            pass
+        assert "span" in session.span_summary()
+        assert "metric" in session.metrics_summary()

@@ -1,0 +1,60 @@
+"""Metrics registry: counters, gauges, histograms, global fast path."""
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry
+
+
+class TestRegistry:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        reg.counter_add("hits")
+        reg.counter_add("hits", 4)
+        assert reg.counter("hits") == 5
+        assert reg.counter("misses") == 0
+
+    def test_gauge_holds_last_value(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("level", 1)
+        reg.gauge_set("level", 3)
+        assert reg.gauges["level"] == 3.0
+
+    def test_histogram_summary_stats(self):
+        reg = MetricsRegistry()
+        for v in (1.0, 5.0, 3.0):
+            reg.observe("sizes", v)
+        snap = reg.snapshot()["histograms"]["sizes"]
+        assert snap["count"] == 3
+        assert snap["min"] == 1.0
+        assert snap["max"] == 5.0
+        assert snap["mean"] == pytest.approx(3.0)
+
+    def test_snapshot_sorted_and_json_ready(self):
+        import json
+
+        reg = MetricsRegistry()
+        reg.counter_add("b")
+        reg.counter_add("a")
+        snap = reg.snapshot()
+        assert list(snap["counters"]) == ["a", "b"]
+        json.dumps(snap)  # must be serialisable
+
+
+class TestModuleFastPath:
+    def test_disabled_calls_are_noops(self):
+        assert not obs.metrics_enabled()
+        obs.counter_add("ignored", 5)
+        obs.gauge_set("ignored", 1.0)
+        obs.observe_value("ignored", 2.0)
+        assert obs.current_registry() is None
+
+    def test_enabled_calls_record(self):
+        with obs.observe() as session:
+            obs.counter_add("c", 2)
+            obs.gauge_set("g", 7)
+            obs.observe_value("h", 1.5)
+        snap = session.registry.snapshot()
+        assert snap["counters"]["c"] == 2
+        assert snap["gauges"]["g"] == 7.0
+        assert snap["histograms"]["h"]["count"] == 1

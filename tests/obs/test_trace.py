@@ -1,0 +1,114 @@
+"""Tracer and span semantics: nesting, attrs, enable/disable."""
+
+import pytest
+
+from repro import obs
+from repro.obs.trace import NOOP_SPAN, Tracer
+
+
+class TestDisabledFastPath:
+    def test_span_returns_noop_when_disabled(self):
+        assert not obs.tracing_enabled()
+        assert obs.span("anything", foo=1) is NOOP_SPAN
+
+    def test_noop_span_supports_protocol(self):
+        with obs.span("x") as sp:
+            assert sp.set(a=1) is sp
+
+    def test_traced_calls_through(self):
+        @obs.traced()
+        def double(x):
+            return 2 * x
+
+        assert double(21) == 42
+
+
+class TestNesting:
+    def test_parent_child_structure(self):
+        with obs.observe() as session:
+            with obs.span("outer"):
+                with obs.span("inner.a"):
+                    pass
+                with obs.span("inner.b"):
+                    pass
+        roots = session.tracer.roots
+        assert [r.name for r in roots] == ["outer"]
+        assert [c.name for c in roots[0].children] == ["inner.a", "inner.b"]
+
+    def test_durations_nest(self):
+        with obs.observe() as session:
+            with obs.span("outer"):
+                with obs.span("inner"):
+                    pass
+        outer = session.tracer.roots[0]
+        inner = outer.children[0]
+        assert outer.end_s is not None and inner.end_s is not None
+        assert outer.duration_s >= inner.duration_s
+        assert outer.self_s == pytest.approx(outer.duration_s - inner.duration_s)
+
+    def test_attrs_set_during_span(self):
+        with obs.observe() as session:
+            with obs.span("epoch", epoch=0) as sp:
+                sp.set(loss=0.5)
+        root = session.tracer.roots[0]
+        assert root.attrs == {"epoch": 0, "loss": 0.5}
+
+    def test_walk_depths(self):
+        with obs.observe() as session:
+            with obs.span("a"):
+                with obs.span("b"):
+                    with obs.span("c"):
+                        pass
+        depths = {sp.name: d for sp, d in session.tracer.all_spans()}
+        assert depths == {"a": 0, "b": 1, "c": 2}
+
+    def test_out_of_order_finish_adopts_children(self):
+        tracer = Tracer()
+        outer = tracer.start("outer")
+        tracer.start("leaked")  # never finished explicitly
+        tracer.finish(outer)
+        assert [r.name for r in tracer.roots] == ["outer"]
+        assert [c.name for c in tracer.roots[0].children] == ["leaked"]
+
+    def test_close_finishes_open_spans(self):
+        tracer = Tracer()
+        tracer.start("open")
+        tracer.close()
+        assert tracer.roots[0].end_s is not None
+
+
+class TestSession:
+    def test_observe_installs_and_restores(self):
+        assert not obs.tracing_enabled() and not obs.metrics_enabled()
+        with obs.observe():
+            assert obs.tracing_enabled() and obs.metrics_enabled()
+        assert not obs.tracing_enabled() and not obs.metrics_enabled()
+
+    def test_observe_restores_after_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.observe():
+                with obs.span("doomed"):
+                    raise RuntimeError("boom")
+        assert not obs.tracing_enabled()
+
+    def test_sessions_nest(self):
+        with obs.observe() as outer_session:
+            outer_tracer = obs.current_tracer()
+            with obs.observe() as inner_session:
+                assert obs.current_tracer() is inner_session.tracer
+                with obs.span("inner-only"):
+                    pass
+            assert obs.current_tracer() is outer_tracer
+        assert [s["name"] for s in inner_session.flat_trace()["spans"]] == [
+            "inner-only"
+        ]
+        assert outer_session.flat_trace()["spans"] == []
+
+    def test_traced_decorator_records(self):
+        @obs.traced("my.op")
+        def fn():
+            return 1
+
+        with obs.observe() as session:
+            fn()
+        assert session.tracer.roots[0].name == "my.op"

@@ -60,9 +60,11 @@ class TestCommands:
         assert f"wrote {out}" in printed
         data = json.loads(out.read_text())
         assert data["schema"] == bench.SCHEMA
+        assert "git_commit" in data
         assert set(data["benchmarks"]) == {
             "embed_all", "train_epoch", "weighted_sampling", "kmeans"
         }
+        assert data["benchmarks"]["embed_all"][0]["vertices_per_sec"] > 0
 
 
 class TestBenchParser:

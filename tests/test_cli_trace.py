@@ -1,0 +1,126 @@
+"""CLI observability smoke: every subcommand runs tiny with ``--trace``.
+
+Each run must leave a well-formed Chrome trace-event file; the commands
+that build a HiGNN hierarchy must additionally show ≥1 ``hignn.level``
+span per level with train/cluster/coarsen children and nonzero core
+work counters (Section III-D's cost drivers).
+"""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.utils.logging import reset_logging
+
+
+@pytest.fixture(autouse=True)
+def clean_logging():
+    yield
+    reset_logging()
+
+
+def _run_traced(tmp_path, argv):
+    trace = tmp_path / "trace.json"
+    assert main(argv + ["--trace", str(trace)]) == 0
+    data = json.loads(trace.read_text())
+    assert data["traceEvents"], "trace must contain spans"
+    for event in data["traceEvents"]:
+        assert event["ph"] == "X" and event["dur"] >= 0
+    flat = json.loads((tmp_path / "trace.flat.json").read_text())
+    assert len(flat["spans"]) == len(data["traceEvents"])
+    return data
+
+
+def _assert_hignn_trace(data):
+    events = data["traceEvents"]
+    levels = [e for e in events if e["name"] == "hignn.level"]
+    assert levels, "expected at least one hignn.level span"
+    for level in levels:
+        t0, t1 = level["ts"], level["ts"] + level["dur"]
+        inside = {
+            e["name"]
+            for e in events
+            if e["name"] in ("hignn.train", "hignn.cluster", "hignn.coarsen")
+            and t0 <= e["ts"] and e["ts"] + e["dur"] <= t1 + 1e-3
+        }
+        assert inside == {"hignn.train", "hignn.cluster", "hignn.coarsen"}
+    counters = data["metrics"]["counters"]
+    for name in (
+        "sage.vertices_embedded",
+        "sampler.samples_drawn",
+        "kmeans.iterations",
+    ):
+        assert counters.get(name, 0) > 0, name
+
+
+class TestTraceSmoke:
+    def test_stats(self, tmp_path, capsys):
+        data = _run_traced(tmp_path, ["stats", "--size", "tiny"])
+        assert any(e["name"] == "cli.stats" for e in data["traceEvents"])
+        out = capsys.readouterr().out
+        assert "span summary" in out and "metrics" in out
+
+    def test_table3(self, tmp_path, capsys):
+        data = _run_traced(
+            tmp_path,
+            ["table3", "--size", "tiny", "--methods", "hignn",
+             "--epochs", "1", "--levels", "2"],
+        )
+        _assert_hignn_trace(data)
+
+    def test_taxonomy(self, tmp_path, capsys):
+        data = _run_traced(
+            tmp_path, ["taxonomy", "--size", "tiny", "--levels", "2"]
+        )
+        _assert_hignn_trace(data)
+
+    def test_ab(self, tmp_path, capsys):
+        data = _run_traced(
+            tmp_path, ["ab", "--size", "tiny", "--days", "1", "--visitors", "40"]
+        )
+        _assert_hignn_trace(data)
+        counters = data["metrics"]["counters"]
+        assert counters.get("serving.pairs_scored", 0) > 0
+        assert counters.get("serving.recommendations", 0) > 0
+        assert any(e["name"] == "serving.score_table" for e in data["traceEvents"])
+
+
+class TestObsFlags:
+    def test_trace_flag_parsed(self):
+        args = build_parser().parse_args(["table3", "--trace", "t.json"])
+        assert args.trace == "t.json"
+
+    def test_trace_default_off(self):
+        args = build_parser().parse_args(["stats"])
+        assert args.trace is None
+
+    def test_log_level_flag(self):
+        args = build_parser().parse_args(["stats", "--log-level", "debug"])
+        assert args.log_level == "debug"
+
+    def test_verbose_counts(self):
+        args = build_parser().parse_args(["stats", "-vv"])
+        assert args.verbose == 2
+
+    def test_verbose_installs_handler(self, tmp_path, capsys):
+        import logging
+
+        assert main(["stats", "--size", "tiny", "-v"]) == 0
+        root = logging.getLogger("repro")
+        assert any(
+            isinstance(h, logging.StreamHandler)
+            and not isinstance(h, logging.NullHandler)
+            for h in root.handlers
+        )
+
+    def test_log_level_reaches_training_output(self, capsys):
+        # table3 with hignn trains SageTrainer, whose per-epoch progress
+        # was previously swallowed by the NullHandler; with --log-level
+        # it must land on stderr.
+        assert main(
+            ["table3", "--size", "tiny", "--methods", "hignn", "--epochs", "1",
+             "--levels", "1", "--log-level", "info"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "repro.core" in err and "mean loss" in err

@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.serving",
     "repro.metrics",
     "repro.utils",
+    "repro.obs",
 ]
 
 

@@ -1,0 +1,93 @@
+"""Bench report schema v2: commit stamp, throughput columns, v1 loader."""
+
+import json
+
+import pytest
+
+from repro.utils import bench
+from repro.utils.bench import (
+    SCHEMA,
+    SCHEMA_V1,
+    bench_hotpaths,
+    git_commit,
+    load_report,
+    render_report,
+    write_report,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_report(tmp_path_factory):
+    """One tiny bench run shared by the schema tests (wiring, not perf)."""
+    sizes = dict(bench.GRAPH_SIZES)
+    ksizes = dict(bench.KMEANS_SIZES)
+    bench.GRAPH_SIZES["quick"] = [(40, 30, 120)]
+    bench.KMEANS_SIZES["quick"] = [(60, 4, 5)]
+    try:
+        report = bench_hotpaths("quick", seed=0, repeats=1)
+    finally:
+        bench.GRAPH_SIZES.update(sizes)
+        bench.KMEANS_SIZES.update(ksizes)
+    return report
+
+
+class TestSchemaV2:
+    def test_schema_and_commit_stamp(self, tiny_report):
+        assert tiny_report["schema"] == SCHEMA
+        commit = tiny_report["git_commit"]
+        assert commit is None or (len(commit) == 40 and commit == git_commit())
+
+    def test_throughput_columns(self, tiny_report):
+        benches = tiny_report["benchmarks"]
+        embed = benches["embed_all"][0]
+        assert embed["vertices_embedded"] > 0
+        assert embed["vertices_per_sec"] > 0
+        sampling = benches["weighted_sampling"][0]
+        assert sampling["samples_drawn"] == sampling["batch"] * sampling["fanout"]
+        assert sampling["samples_per_sec"] > 0
+        train = benches["train_epoch"][0]
+        assert train["edges_seen"] > 0 and train["edges_per_sec"] > 0
+
+    def test_render_includes_throughput_and_commit(self, tiny_report):
+        text = render_report(tiny_report)
+        assert "vert/s" in text and "smp/s" in text and "edge/s" in text
+        assert "commit" in text
+
+
+class TestLoader:
+    def test_round_trip_v2(self, tiny_report, tmp_path):
+        path = write_report(tiny_report, tmp_path / "r.json")
+        assert load_report(path) == json.loads(path.read_text())
+
+    def test_upgrades_v1(self, tmp_path):
+        v1 = {
+            "schema": SCHEMA_V1,
+            "mode": "quick",
+            "seed": 0,
+            "repeats": 1,
+            "python": "3",
+            "numpy": "2",
+            "benchmarks": {
+                "embed_all": [
+                    {
+                        "graph": {"num_users": 1, "num_items": 1, "num_edges": 1},
+                        "before_s": 1.0,
+                        "after_s": 0.5,
+                        "speedup": 2.0,
+                    }
+                ]
+            },
+        }
+        path = tmp_path / "v1.json"
+        path.write_text(json.dumps(v1))
+        loaded = load_report(path)
+        assert loaded["schema"] == SCHEMA
+        assert loaded["git_commit"] is None
+        # v1 rows render fine without throughput columns.
+        assert "embed_all" in render_report(loaded)
+
+    def test_rejects_unknown_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ValueError):
+            load_report(path)

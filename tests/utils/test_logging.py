@@ -1,0 +1,97 @@
+"""Logging helpers: namespacing, NullHandler isolation, configure/reset."""
+
+import io
+import logging
+
+import pytest
+
+from repro.utils.logging import configure_logging, get_logger, reset_logging
+
+
+@pytest.fixture(autouse=True)
+def clean_handlers():
+    """Every test leaves the 'repro' logger exactly as the library ships it."""
+    reset_logging()
+    yield
+    reset_logging()
+
+
+class TestNamespacing:
+    def test_plain_name_prefixed(self):
+        assert get_logger("core").name == "repro.core"
+
+    def test_already_prefixed_untouched(self):
+        assert get_logger("repro.core").name == "repro.core"
+        assert get_logger("repro").name == "repro"
+
+    def test_empty_name_is_root(self):
+        assert get_logger("").name == "repro"
+
+    def test_children_propagate_to_repro_root(self):
+        assert get_logger("core.trainer").parent.name in ("repro.core", "repro")
+
+
+class TestNullHandlerIsolation:
+    def test_null_handler_attached_to_repro_root(self):
+        root = logging.getLogger("repro")
+        assert any(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_only_null_handler_when_unconfigured(self):
+        # After reset the library ships exactly its NullHandler; visible
+        # output is always an application opt-in.
+        root = logging.getLogger("repro")
+        assert all(isinstance(h, logging.NullHandler) for h in root.handlers)
+
+    def test_unconfigured_records_are_swallowed(self, capsys):
+        get_logger("core.trainer").info("invisible")
+        captured = capsys.readouterr()
+        assert "invisible" not in captured.out + captured.err
+
+
+class TestConfigureLogging:
+    def test_installs_stream_handler_and_emits(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        get_logger("core.trainer").info("hello %d", 7)
+        assert "hello 7" in stream.getvalue()
+        assert "repro.core.trainer" in stream.getvalue()
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging("warning", stream=stream)
+        get_logger("x").info("quiet")
+        get_logger("x").warning("loud")
+        out = stream.getvalue()
+        assert "quiet" not in out and "loud" in out
+
+    def test_reconfigure_does_not_duplicate_handlers(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        configure_logging("debug", stream=stream)
+        root = logging.getLogger("repro")
+        streams = [h for h in root.handlers if isinstance(h, logging.StreamHandler)
+                   and not isinstance(h, logging.NullHandler)]
+        assert len(streams) == 1
+        get_logger("x").debug("once")
+        assert stream.getvalue().count("once") == 1
+
+    def test_accepts_int_level(self):
+        handler = configure_logging(logging.ERROR)
+        assert handler.level == logging.ERROR
+
+    def test_unknown_level_name_raises(self):
+        with pytest.raises(ValueError):
+            configure_logging("chatty")
+
+    def test_reset_removes_handler(self):
+        stream = io.StringIO()
+        configure_logging("info", stream=stream)
+        reset_logging()
+        get_logger("x").info("after-reset")
+        assert "after-reset" not in stream.getvalue()
+        root = logging.getLogger("repro")
+        assert all(
+            isinstance(h, logging.NullHandler)
+            or not isinstance(h, logging.StreamHandler)
+            for h in root.handlers
+        )

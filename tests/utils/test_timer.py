@@ -1,0 +1,110 @@
+"""Timer stop/restart semantics and nested usage."""
+
+import time
+
+import pytest
+
+from repro.utils.timer import Timer
+
+
+class TestContextManager:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+        assert not t.running
+
+    def test_reentering_accumulates_instead_of_resetting(self):
+        t = Timer()
+        with t:
+            time.sleep(0.005)
+        first = t.elapsed
+        with t:
+            time.sleep(0.005)
+        assert t.elapsed >= first + 0.004
+
+    def test_nested_timers_are_independent(self):
+        outer = Timer()
+        inner = Timer()
+        with outer:
+            time.sleep(0.004)
+            with inner:
+                time.sleep(0.004)
+        assert outer.elapsed >= inner.elapsed
+        assert inner.elapsed >= 0.003
+
+
+class TestStartStop:
+    def test_stop_returns_and_freezes_elapsed(self):
+        t = Timer().start()
+        time.sleep(0.004)
+        total = t.stop()
+        assert total == t.elapsed >= 0.003
+        frozen = t.elapsed
+        time.sleep(0.004)
+        assert t.elapsed == frozen
+
+    def test_start_is_idempotent_while_running(self):
+        t = Timer().start()
+        t.start()  # no-op, must not reset the epoch
+        time.sleep(0.004)
+        assert t.stop() >= 0.003
+
+    def test_stop_without_start_is_safe(self):
+        t = Timer()
+        assert t.stop() == 0.0
+
+    def test_reset_zeroes(self):
+        t = Timer().start()
+        time.sleep(0.002)
+        t.stop()
+        t.reset()
+        assert t.elapsed == 0.0 and not t.running
+
+    def test_restart_zeroes_and_runs(self):
+        t = Timer().start()
+        time.sleep(0.01)
+        t.restart()
+        time.sleep(0.002)
+        assert 0.0 < t.stop() < 0.01
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestLap:
+    def test_lap_inside_context(self):
+        with Timer() as t:
+            time.sleep(0.004)
+            lap = t.lap()
+            assert lap >= 0.003
+            assert t.running  # lap does not stop the clock
+
+    def test_lap_after_exit_returns_total(self):
+        with Timer() as t:
+            time.sleep(0.004)
+        assert t.lap() == t.elapsed
+
+    def test_lap_spans_stop_start_cycles(self):
+        t = Timer()
+        with t:
+            time.sleep(0.003)
+        with t:
+            time.sleep(0.003)
+            assert t.lap() >= 0.005
+
+    def test_lap_before_any_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().lap()
+
+    def test_lap_after_reset_raises(self):
+        t = Timer().start()
+        t.stop()
+        t.reset()
+        with pytest.raises(RuntimeError):
+            t.lap()
