@@ -7,6 +7,12 @@ rewrites ("after"), and writes the tracked ``BENCH_hotpaths.json``
 report at the repo root.  ``benchmarks/run_benchmarks.py`` (or
 ``python -m repro.cli bench``) produces the same report standalone;
 ``--mode full`` regenerates the record at the full workload grid.
+
+The v3 ``parallel`` section is smoked here with a 2-worker pool under a
+hard map timeout so a wedged pool fails the run instead of hanging it.
+No parallel *speedup* is asserted: fan-out can only win when
+``os.cpu_count()`` exceeds the pool size, which CI boxes don't promise
+(the tracked report records the honest number either way).
 """
 
 from __future__ import annotations
@@ -14,21 +20,31 @@ from __future__ import annotations
 import json
 import pathlib
 
+from repro.parallel import configure
 from repro.utils.bench import SCHEMA, bench_hotpaths, render_report, write_report
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
 
 def test_hotpath_bench_writes_tracked_report(report):
-    result = bench_hotpaths("quick", seed=0, repeats=3)
+    configure(map_timeout_s=120.0)  # fail fast if a worker pool wedges
+    result = bench_hotpaths("quick", seed=0, repeats=3, workers=2)
     path = write_report(result, REPO_ROOT / "BENCH_hotpaths.json")
     report("hotpath_bench", render_report(result))
 
     data = json.loads(path.read_text())
     assert data["schema"] == SCHEMA
     assert "git_commit" in data
+    assert data["cpu_count"] >= 1
     benches = data["benchmarks"]
-    assert set(benches) == {"embed_all", "train_epoch", "weighted_sampling", "kmeans"}
+    assert set(benches) == {
+        "embed_all",
+        "train_epoch",
+        "weighted_sampling",
+        "kmeans",
+        "parallel",
+        "score_topk",
+    }
     for rows in benches.values():
         assert rows
         for row in rows:
@@ -41,8 +57,14 @@ def test_hotpath_bench_writes_tracked_report(report):
     for row in benches["weighted_sampling"]:
         assert row["samples_per_sec"] > 0
 
+    # The parallel rows ran the pool-backed paths at workers=2.
+    for row in benches["parallel"]:
+        assert row["workers"] == 2
+
     # Regression guards, deliberately looser than the typical speedups
     # (>5x embed_all, >10x sampling here) so noisy CI boxes don't flake.
     assert benches["embed_all"][-1]["speedup"] > 1.5
     assert benches["weighted_sampling"][-1]["speedup"] > 2.0
     assert benches["train_epoch"][-1]["speedup"] > 1.2
+    # Lazy top-k beats ranking the whole table up front.
+    assert benches["score_topk"][-1]["speedup"] > 1.0

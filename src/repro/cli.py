@@ -22,6 +22,9 @@ Observability flags (see README "Observability"):
 * ``--log-level LEVEL`` / ``-v`` installs a stream handler on the
   ``repro`` logger so library progress logging (e.g.
   ``TrainConfig.log_every``) reaches the terminal.
+* ``--workers N`` (every subcommand) sets the process-global worker
+  count for the parallel hot paths (see README "Parallelism"); results
+  are bitwise identical for any N given the same seed.
 """
 
 from __future__ import annotations
@@ -69,6 +72,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default="BENCH_hotpaths.json")
+    _workers_flag(bench)
     _logging_flags(bench)
 
     return parser
@@ -83,7 +87,18 @@ def _common(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="record a trace: Chrome trace-event JSON to PATH + summary tables",
     )
+    _workers_flag(parser)
     _logging_flags(parser)
+
+
+def _workers_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for parallel hot paths (1 = in-process)",
+    )
 
 
 def _logging_flags(parser: argparse.ArgumentParser) -> None:
@@ -222,7 +237,12 @@ def cmd_ab(args: argparse.Namespace) -> int:
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.utils.bench import bench_hotpaths, render_report, write_report
 
-    report = bench_hotpaths(args.mode, seed=args.seed, repeats=args.repeats)
+    # The parallel section compares serial vs N workers; default the
+    # comparison to 4 when the global --workers was left at 1.
+    workers = args.workers if args.workers and args.workers > 1 else 4
+    report = bench_hotpaths(
+        args.mode, seed=args.seed, repeats=args.repeats, workers=workers
+    )
     print(render_report(report))
     path = write_report(report, args.out)
     print(f"wrote {path}")
@@ -275,6 +295,11 @@ def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     _setup_logging(args)
+    workers = getattr(args, "workers", 1)
+    if workers is not None and workers > 1:
+        from repro.parallel import configure
+
+        configure(workers=workers)
     if getattr(args, "trace", None):
         return _run_traced(args)
     return _COMMANDS[args.command](args)

@@ -41,10 +41,71 @@ from repro.nn.layers import Activation, Linear, Module
 from repro.obs import span
 from repro.obs.metrics import counter_add, observe
 from repro.nn.tensor import Tensor, concat, no_grad, where
+from repro.parallel import as_ndarray, get_pool, shared_arrays
 from repro.utils.config import SageConfig
 from repro.utils.rng import derive_rng, ensure_rng
 
 __all__ = ["BipartiteGraphSAGE"]
+
+
+# ---------------------------------------------------------------------------
+# Layer-wise chunk kernel (plain numpy, runs in-process or in workers)
+# ---------------------------------------------------------------------------
+# These replicate the Tensor forward math operation-for-operation (same
+# numpy expressions, same order) so chunk outputs are bitwise identical
+# to the autograd path — and therefore identical for every worker count.
+
+_NP_ACTIVATIONS = {
+    "relu": lambda x: x * (x > 0),
+    "leaky_relu": lambda x: np.where(x > 0, x, 0.01 * x),
+    "tanh": np.tanh,
+    "sigmoid": lambda x: np.where(
+        x >= 0,
+        1.0 / (1.0 + np.exp(-np.clip(x, -500, None))),
+        np.exp(np.clip(x, None, 500)) / (1.0 + np.exp(np.clip(x, None, 500))),
+    ),
+    "identity": lambda x: x,
+}
+
+
+def _np_aggregate(stacked: np.ndarray, valid: np.ndarray, agg: str) -> np.ndarray:
+    """Numpy mirror of :meth:`BipartiteGraphSAGE._aggregate`."""
+    maskf = valid.astype(float)[:, :, None]
+    if agg in ("mean", "weighted_mean"):
+        counts = np.maximum(valid.sum(axis=1, keepdims=True), 1).astype(float)
+        return (stacked * maskf).sum(axis=1) * (1.0 / counts)
+    if agg == "sum":
+        return (stacked * maskf).sum(axis=1)
+    if agg == "max":
+        masked = np.where(valid[:, :, None], stacked, np.full(stacked.shape, -1e30))
+        any_valid = valid.any(axis=1)[:, None].astype(float)
+        return masked.max(axis=1) * any_valid
+    raise ValueError(f"unknown aggregator {agg!r}")
+
+
+def _layerwise_chunk(task: tuple, context: tuple) -> np.ndarray:
+    """Embed one pre-sampled vertex chunk at one step (Eqs. 1–4).
+
+    ``task`` is ``(start, stop, neigh)`` with neighbours already sampled
+    in the parent (fixed order, so the sampling stream is untouched by
+    parallelism).  ``context`` carries the previous-step matrices —
+    possibly as shared-memory handles — plus the step's weights.
+    """
+    start, stop, neigh = task
+    own_handle, other_handle, params = context
+    own_prev = as_ndarray(own_handle)
+    other_prev = as_ndarray(other_handle)
+    valid = neigh >= 0
+    stacked = other_prev[np.where(valid, neigh, 0)]
+    aggregated = _np_aggregate(stacked, valid, params["aggregator"])
+    transformed = aggregated @ params["m_w"]  # Eq. 1 / Eq. 2 (M has no bias)
+    if params["m_b"] is not None:
+        transformed = transformed + params["m_b"]
+    combined = np.concatenate([own_prev[start:stop], transformed], axis=-1)
+    z = combined @ params["w_w"]
+    if params["w_b"] is not None:
+        z = z + params["w_b"]
+    return _NP_ACTIVATIONS[params["activation"]](z)  # Eq. 3 / Eq. 4
 
 
 class BipartiteGraphSAGE(Module):
@@ -122,7 +183,11 @@ class BipartiteGraphSAGE(Module):
         return self._embed(graph, np.asarray(item_ids), self.config.num_steps, "item")
 
     def embed_all(
-        self, graph: BipartiteGraph, batch_size: int = 2048, mode: str = "layerwise"
+        self,
+        graph: BipartiteGraph,
+        batch_size: int = 2048,
+        mode: str = "layerwise",
+        workers: int | None = None,
     ) -> tuple[np.ndarray, np.ndarray]:
         """Inference-mode embeddings (Z_u, Z_i) for every vertex.
 
@@ -132,6 +197,12 @@ class BipartiteGraphSAGE(Module):
         every HiGNN level (Algorithm 1), so it dominates hierarchy-build
         time.  ``mode="recursive"`` keeps the per-batch recursive
         expansion as a reference implementation.
+
+        ``workers`` fans the layer-wise chunk loop out over a process
+        pool (default: the globally configured count, usually 1 → runs
+        in-process).  Chunk boundaries, sampling order and reduction
+        order are independent of the worker count, so the result is
+        bitwise identical for any ``workers`` given the same seed.
         """
         if mode not in {"layerwise", "recursive"}:
             raise ValueError(f"unknown embed_all mode {mode!r}")
@@ -143,7 +214,9 @@ class BipartiteGraphSAGE(Module):
             num_items=graph.num_items,
         ), no_grad():
             if mode == "layerwise":
-                users, items = self._embed_all_layerwise(graph, batch_size)
+                users, items = self._embed_all_layerwise(
+                    graph, batch_size, get_pool(workers)
+                )
             else:
                 users = np.concatenate(
                     [
@@ -288,7 +361,7 @@ class BipartiteGraphSAGE(Module):
     # Layer-wise full-graph inference
     # ------------------------------------------------------------------
     def _embed_all_layerwise(
-        self, graph: BipartiteGraph, batch_size: int
+        self, graph: BipartiteGraph, batch_size: int, pool=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """One pass per step over the whole graph (inference only).
 
@@ -305,10 +378,10 @@ class BipartiteGraphSAGE(Module):
         for step in range(1, cfg.num_steps + 1):
             fanout = cfg.neighbor_samples[cfg.num_steps - step]
             new_user = self._layerwise_pass(
-                graph, h_user, h_item, step, "user", fanout, batch_size
+                graph, h_user, h_item, step, "user", fanout, batch_size, pool
             )
             new_item = self._layerwise_pass(
-                graph, h_item, h_user, step, "item", fanout, batch_size
+                graph, h_item, h_user, step, "item", fanout, batch_size, pool
             )
             h_user, h_item = new_user, new_item
         return h_user, h_item
@@ -322,25 +395,50 @@ class BipartiteGraphSAGE(Module):
         side: str,
         fanout: int,
         batch_size: int,
+        pool=None,
     ) -> np.ndarray:
-        """Step-``step`` embeddings for every vertex on ``side``."""
+        """Step-``step`` embeddings for every vertex on ``side``.
+
+        Neighbours for every chunk are sampled up front in the parent —
+        in the same fixed order the serial loop used, so the sampling
+        RNG stream is untouched by parallelism — then the chunks are
+        mapped over ``pool`` (in-process when ``pool`` is serial) and
+        written back in submission order.
+        """
         sampler = self._sampler(graph)
         n = graph.num_users if side == "user" else graph.num_items
         transform, weight = self._step_modules(step, side)
         counter_add("sage.vertices_embedded", n)
-        out = np.empty((n, self.config.embedding_dim), dtype=np.float64)
+        tasks = []
         for start in range(0, n, batch_size):
-            chunk = np.arange(start, min(start + batch_size, n))
-            observe("sage.frontier_size", len(chunk))
+            stop = min(start + batch_size, n)
+            observe("sage.frontier_size", stop - start)
+            chunk = np.arange(start, stop)
             if side == "user":
                 neigh = sampler.sample_items_for_users(chunk, fanout)
             else:
                 neigh = sampler.sample_users_for_items(chunk, fanout)
-            valid = neigh >= 0
-            stacked = Tensor(other_prev[np.where(valid, neigh, 0)])
-            aggregated = self._aggregate(stacked, valid)
-            combined = concat([Tensor(own_prev[chunk]), transform(aggregated)], axis=-1)
-            out[start : start + len(chunk)] = self.activation(weight(combined)).data
+            tasks.append((start, stop, neigh))
+        params = {
+            "m_w": transform.weight.data,
+            "m_b": transform.bias.data if transform.bias is not None else None,
+            "w_w": weight.weight.data,
+            "w_b": weight.bias.data if weight.bias is not None else None,
+            "activation": self.config.activation,
+            "aggregator": self.config.aggregator,
+        }
+        if pool is None:
+            pool = get_pool(1)
+        out = np.empty((n, self.config.embedding_dim), dtype=np.float64)
+        with shared_arrays(pool, own_prev, other_prev) as (own_h, other_h):
+            rows = pool.map(
+                _layerwise_chunk,
+                tasks,
+                context=(own_h, other_h, params),
+                label="sage.layerwise_chunk",
+            )
+        for (start, stop, _), block in zip(tasks, rows):
+            out[start:stop] = block
         return out
 
     def _aggregate(self, stacked: Tensor, valid: np.ndarray) -> Tensor:

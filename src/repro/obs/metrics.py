@@ -58,6 +58,34 @@ class MetricsRegistry:
         """Current counter value (0 if never incremented)."""
         return self.counters.get(name, 0.0)
 
+    def merge(self, snapshot: dict[str, Any]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters and histogram statistics accumulate; gauges take the
+        merged snapshot's value (last merge wins, matching the
+        last-write-wins semantics of :meth:`gauge_set`).  Used to
+        propagate metrics recorded inside worker processes back into the
+        parent registry when a parallel map joins.
+        """
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter_add(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.gauge_set(name, value)
+        for name, hist in snapshot.get("histograms", {}).items():
+            stats = self.histograms.get(name)
+            if stats is None:
+                self.histograms[name] = [
+                    float(hist["count"]),
+                    float(hist["sum"]),
+                    float(hist["min"]),
+                    float(hist["max"]),
+                ]
+            else:
+                stats[0] += hist["count"]
+                stats[1] += hist["sum"]
+                stats[2] = min(stats[2], hist["min"])
+                stats[3] = max(stats[3], hist["max"])
+
     def snapshot(self) -> dict[str, Any]:
         """JSON-ready dump of every metric."""
         return {

@@ -1,0 +1,344 @@
+"""Fork-safe worker pools with deterministic fan-out.
+
+The execution model keeps parallel results bitwise-equal to serial ones
+by construction:
+
+* The caller materialises every task (chunk bounds, pre-sampled ids,
+  derived RNGs) **in the parent, in a fixed order**, before any fan-out.
+* :meth:`WorkerPool.map` runs the same top-level task function on the
+  same task tuples whether it executes in-process (``workers<=1``) or on
+  the pool, and always returns results in submission order, so reduction
+  order never depends on scheduling.
+
+A pool with ``workers<=1`` never spawns anything — tier-1 tests and
+small graphs pay one ``if`` per map.  Real pools are created lazily on
+first parallel map, are re-created if the handle crosses a ``fork()``
+(the inherited pool state is unusable in the child), and degrade to the
+in-process path with a warning when the platform cannot provide worker
+processes at all.
+
+Observability composes: when a tracer/metrics registry is active in the
+parent, each worker task runs under a fresh registry+tracer whose
+counters, histograms and span trees are carried back with the result and
+merged into the parent session when the map joins — ``--trace`` output
+stays complete under ``--workers N``.
+
+Large read-only inputs travel through :mod:`repro.parallel.shared`
+segments; the per-map ``context`` object (weights, centres, models) is
+pickled once and broadcast — through shared memory when it is big —
+instead of being serialised per task.
+"""
+
+from __future__ import annotations
+
+import atexit
+import logging
+import multiprocessing as mp
+import os
+import pickle
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Any, Callable, Iterable
+
+from repro.obs.metrics import current_registry, metrics_enabled
+from repro.obs.trace import current_tracer, span, tracing_enabled
+from repro.parallel.shared import attach_untracked
+
+__all__ = [
+    "ParallelConfig",
+    "WorkerPool",
+    "configure",
+    "get_pool",
+    "default_workers",
+    "shutdown_pools",
+]
+
+logger = logging.getLogger("repro.parallel")
+
+# Context payloads up to this size ride along inside each task message;
+# larger ones are broadcast once through a shared-memory blob.
+_INLINE_CONTEXT_BYTES = 65536
+
+
+@dataclass
+class ParallelConfig:
+    """Process-global defaults for the parallel execution layer.
+
+    ``workers`` is the pool size :func:`get_pool` hands out when the call
+    site does not name one (the CLI's ``--workers`` lands here);
+    ``start_method`` picks the multiprocessing context (``fork`` where
+    available — required for cheap pool spin-up); ``map_timeout_s``
+    bounds every parallel map so a deadlocked pool raises instead of
+    hanging the caller.
+    """
+
+    workers: int = 1
+    start_method: str | None = None
+    map_timeout_s: float | None = None
+
+    def resolved_start_method(self) -> str:
+        if self.start_method is not None:
+            return self.start_method
+        return "fork" if "fork" in mp.get_all_start_methods() else mp.get_start_method()
+
+
+_CONFIG = ParallelConfig()
+_POOLS: dict[int, "WorkerPool"] = {}
+
+
+def configure(
+    workers: int | None = None,
+    start_method: str | None = None,
+    map_timeout_s: float | None = None,
+) -> ParallelConfig:
+    """Set the process-global defaults; returns the live config."""
+    if workers is not None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        _CONFIG.workers = int(workers)
+    if start_method is not None:
+        _CONFIG.start_method = start_method
+    if map_timeout_s is not None:
+        _CONFIG.map_timeout_s = float(map_timeout_s)
+    return _CONFIG
+
+
+def default_workers() -> int:
+    return _CONFIG.workers
+
+
+def get_pool(workers: int | None = None) -> "WorkerPool":
+    """The shared pool for ``workers`` (default: the configured count).
+
+    Pools are cached per worker count and shut down at interpreter exit,
+    so repeated hot-path calls reuse live worker processes.
+    """
+    count = _CONFIG.workers if workers is None else max(1, int(workers))
+    pool = _POOLS.get(count)
+    if pool is None:
+        pool = _POOLS[count] = WorkerPool(count)
+    return pool
+
+
+def shutdown_pools() -> None:
+    """Shut down every cached pool (registered with ``atexit``)."""
+    for pool in list(_POOLS.values()):
+        pool.shutdown()
+    _POOLS.clear()
+
+
+atexit.register(shutdown_pools)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+# One-slot context cache per worker process: maps travel with a context
+# key; the blob is deserialised once per worker per map, not per task.
+_CTX_CACHE: dict[str, Any] = {"key": None, "value": None}
+
+
+def _worker_init() -> None:
+    """Reset inherited process-global state in a fresh worker.
+
+    Under ``fork`` the child inherits the parent's installed tracer and
+    registry; writing to those copies would be silently lost, so workers
+    start clean and report through the explicit merge path instead.
+    """
+    from repro.obs import metrics as _metrics
+    from repro.obs import trace as _trace
+
+    _trace._TRACER = None
+    _metrics._REGISTRY = None
+    _CTX_CACHE["key"] = None
+    _CTX_CACHE["value"] = None
+
+
+def _resolve_context(ctx_ref: tuple | None) -> Any:
+    if ctx_ref is None:
+        return None
+    kind, key, payload = ctx_ref
+    if _CTX_CACHE["key"] == key:
+        return _CTX_CACHE["value"]
+    if kind == "bytes":
+        value = pickle.loads(payload)
+    else:  # "shm"
+        name, size = payload
+        shm = attach_untracked(name)
+        try:
+            value = pickle.loads(bytes(shm.buf[:size]))
+        finally:
+            shm.close()
+    _CTX_CACHE["key"] = key
+    _CTX_CACHE["value"] = value
+    return value
+
+
+def _run_task(payload: tuple) -> tuple[Any, dict[str, Any] | None]:
+    """Execute one task in a worker; capture obs state when requested."""
+    fn, task, ctx_ref, obs_on, label = payload
+    context = _resolve_context(ctx_ref)
+    if not obs_on:
+        return fn(task, context), None
+    from repro.obs.metrics import MetricsRegistry, install_registry, uninstall_registry
+    from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
+
+    tracer = install_tracer(Tracer())
+    registry = install_registry(MetricsRegistry())
+    try:
+        with tracer.start(label or getattr(fn, "__name__", "task"), {"pid": os.getpid()}):
+            result = fn(task, context)
+    finally:
+        uninstall_tracer()
+        uninstall_registry()
+    obs_payload = {
+        "metrics": registry.snapshot(),
+        "spans": [root.to_dict() for root in tracer.roots],
+    }
+    return result, obs_payload
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+class WorkerPool:
+    """A lazily started process pool with an in-process serial mode.
+
+    ``workers<=1`` (the default everywhere) executes maps inline in the
+    caller — no processes, no pickling, no shared memory.  ``workers>1``
+    forks a ``multiprocessing.Pool`` on first use and keeps it warm.
+    """
+
+    def __init__(self, workers: int | None = None, start_method: str | None = None) -> None:
+        self.workers = _CONFIG.workers if workers is None else max(1, int(workers))
+        self._start_method = start_method
+        self._pool: mp.pool.Pool | None = None
+        self._owner_pid: int | None = None
+        self._broken = False
+        self._ctx_counter = 0
+
+    @property
+    def parallel(self) -> bool:
+        """True when maps will fan out to worker processes."""
+        return self.workers > 1 and not self._broken
+
+    # -- lifecycle -----------------------------------------------------
+    def _ensure_pool(self) -> mp.pool.Pool | None:
+        if self._pool is not None and self._owner_pid == os.getpid():
+            return self._pool
+        if self._pool is not None:
+            # This handle crossed a fork(); the inherited pool machinery
+            # belongs to the parent and must not be touched here.
+            self._pool = None
+        try:
+            ctx = mp.get_context((self._start_method or _CONFIG.resolved_start_method()))
+            self._pool = ctx.Pool(self.workers, initializer=_worker_init)
+        except (OSError, ValueError) as exc:  # e.g. no /dev/shm semaphores
+            self._broken = True
+            self._pool = None
+            logger.warning("worker pool unavailable (%s); running in-process", exc)
+            return None
+        self._owner_pid = os.getpid()
+        return self._pool
+
+    def shutdown(self) -> None:
+        """Terminate workers and release pool resources (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is None or self._owner_pid != os.getpid():
+            return
+        try:
+            pool.terminate()
+            pool.join()
+        except Exception:  # pragma: no cover - interpreter teardown races
+            pass
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+    # -- mapping -------------------------------------------------------
+    def map(
+        self,
+        fn: Callable[[Any, Any], Any],
+        tasks: Iterable[Any],
+        context: Any = None,
+        timeout: float | None = None,
+        label: str | None = None,
+    ) -> list[Any]:
+        """Run ``fn(task, context)`` over ``tasks``; results in task order.
+
+        ``fn`` must be a module-level callable (workers import it by
+        reference).  ``context`` is broadcast once per map; ``timeout``
+        (seconds, default :attr:`ParallelConfig.map_timeout_s`) bounds
+        the whole map and raises :class:`TimeoutError` on a hung pool,
+        after terminating it so the next map starts fresh.
+        """
+        tasks = list(tasks)
+        if not tasks:
+            return []
+        name = label or getattr(fn, "__name__", "task")
+        if not self.parallel:
+            return self._map_inline(fn, tasks, context, name)
+        pool = self._ensure_pool()
+        if pool is None:
+            return self._map_inline(fn, tasks, context, name)
+        if timeout is None:
+            timeout = _CONFIG.map_timeout_s
+        obs_on = tracing_enabled() or metrics_enabled()
+        ctx_ref, ctx_cleanup = self._prepare_context(context)
+        payloads = [(fn, task, ctx_ref, obs_on, name) for task in tasks]
+        with span("parallel.map", label=name, tasks=len(tasks), workers=self.workers):
+            try:
+                raw = pool.map_async(_run_task, payloads).get(timeout)
+            except mp.TimeoutError:
+                self.shutdown()
+                raise TimeoutError(
+                    f"parallel map {name!r} ({len(tasks)} tasks, "
+                    f"{self.workers} workers) timed out after {timeout}s"
+                ) from None
+            finally:
+                ctx_cleanup()
+            results = []
+            for result, obs_payload in raw:
+                if obs_payload is not None:
+                    self._merge_obs(obs_payload)
+                results.append(result)
+        return results
+
+    def _map_inline(self, fn, tasks: list, context: Any, name: str) -> list[Any]:
+        results = []
+        for task in tasks:
+            with span(name):
+                results.append(fn(task, context))
+        return results
+
+    def _prepare_context(self, context: Any) -> tuple[tuple | None, Callable[[], None]]:
+        if context is None:
+            return None, lambda: None
+        blob = pickle.dumps(context, protocol=pickle.HIGHEST_PROTOCOL)
+        self._ctx_counter += 1
+        key = f"{os.getpid()}-{id(self)}-{self._ctx_counter}"
+        if len(blob) <= _INLINE_CONTEXT_BYTES:
+            return ("bytes", key, blob), lambda: None
+        shm = shared_memory.SharedMemory(create=True, size=len(blob))
+        shm.buf[: len(blob)] = blob
+
+        def cleanup() -> None:
+            shm.close()
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover
+                pass
+
+        return ("shm", key, (shm.name, len(blob))), cleanup
+
+    @staticmethod
+    def _merge_obs(obs_payload: dict[str, Any]) -> None:
+        registry = current_registry()
+        if registry is not None:
+            registry.merge(obs_payload["metrics"])
+        tracer = current_tracer()
+        if tracer is not None:
+            tracer.adopt(obs_payload["spans"])

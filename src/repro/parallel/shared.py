@@ -1,0 +1,179 @@
+"""Zero-copy sharing of large read-only ndarrays across worker processes.
+
+``SharedMatrix`` copies an array once into a POSIX shared-memory segment
+(``multiprocessing.shared_memory``).  It pickles to just the segment
+*name* plus shape/dtype metadata, so shipping it to a worker costs a few
+hundred bytes regardless of the matrix size; the worker attaches to the
+same physical pages and reads them through a read-only ndarray view.
+
+Lifecycle rules:
+
+* The creating process is the **owner** — only it unlinks the segment
+  (``destroy()``).  Workers merely attach and detach; on Linux the
+  kernel keeps the pages alive until the last mapping closes, so the
+  owner may unlink while workers still hold views.
+* Attached (non-owner) handles unregister themselves from the
+  ``multiprocessing.resource_tracker`` so a worker exiting does not
+  unlink a segment the owner still uses (the well-known double-cleanup
+  pitfall of ``shared_memory`` before Python 3.13's ``track=False``).
+* Every live owner segment is tracked in a module registry so tests can
+  assert nothing leaked, and the pool shuts leftovers down as a last
+  resort.
+
+The :func:`shared_arrays` context manager is the intended call-site API:
+it shares arrays only when the pool will actually fan out to worker
+processes (otherwise the original arrays pass through untouched, so the
+in-process fallback pays nothing) and guarantees cleanup on exit.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from multiprocessing import resource_tracker, shared_memory
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["SharedMatrix", "shared_arrays", "as_ndarray", "active_segment_names"]
+
+# Names of segments created (and not yet destroyed) by this process.
+_LIVE_SEGMENTS: set[str] = set()
+
+
+def active_segment_names() -> set[str]:
+    """Names of shared segments this process owns and has not destroyed."""
+    return set(_LIVE_SEGMENTS)
+
+
+def attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker tracking.
+
+    Only the owner may clean a segment up; before Python 3.13's
+    ``track=False`` the sole way to keep an attaching process (and the
+    tracker all forked workers share) out of the segment's lifecycle is
+    to suppress the registration call itself.  Unregistering *after*
+    attach is not enough: the tracker's name cache is a set, so several
+    workers attaching the same segment would dedupe their registrations
+    but still send one remove each, crashing the tracker with KeyErrors.
+    """
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+class SharedMatrix:
+    """A 2-D (or any-D) ndarray backed by named shared memory.
+
+    Build with :meth:`from_array` in the owner process; send to workers
+    by pickling (the payload is only ``(name, shape, dtype)``); read via
+    :attr:`array`, a read-only view of the shared pages.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "_shm", "_owner")
+
+    def __init__(
+        self,
+        name: str,
+        shape: tuple[int, ...],
+        dtype: np.dtype,
+        shm: shared_memory.SharedMemory,
+        owner: bool,
+    ) -> None:
+        self.name = name
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self._shm = shm
+        self._owner = owner
+
+    @classmethod
+    def from_array(cls, array: np.ndarray) -> "SharedMatrix":
+        """Copy ``array`` into a fresh shared segment (owner handle)."""
+        array = np.ascontiguousarray(array)
+        shm = shared_memory.SharedMemory(create=True, size=max(1, array.nbytes))
+        if array.nbytes:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+            del view
+        _LIVE_SEGMENTS.add(shm.name)
+        return cls(shm.name, array.shape, array.dtype, shm, owner=True)
+
+    @classmethod
+    def _attach(cls, name: str, shape: tuple[int, ...], dtype_str: str) -> "SharedMatrix":
+        """Attach to an existing segment by name (worker side)."""
+        shm = attach_untracked(name)
+        return cls(name, tuple(shape), np.dtype(dtype_str), shm, owner=False)
+
+    def __reduce__(self):
+        return (SharedMatrix._attach, (self.name, self.shape, self.dtype.str))
+
+    @property
+    def array(self) -> np.ndarray:
+        """Read-only ndarray view over the shared pages (no copy)."""
+        if self._shm is None:
+            raise ValueError(f"shared matrix {self.name} is closed")
+        view = np.ndarray(self.shape, dtype=self.dtype, buffer=self._shm.buf)
+        view.flags.writeable = False
+        return view
+
+    def close(self) -> None:
+        """Detach this handle (safe to call repeatedly)."""
+        if self._shm is None:
+            return
+        try:
+            self._shm.close()
+        except BufferError:
+            # A view is still alive in this process (e.g. the in-process
+            # fallback read through the owner handle).  Leave the mapping
+            # for the interpreter to reclaim; unlink still proceeds.
+            pass
+        self._shm = None
+
+    def destroy(self) -> None:
+        """Owner cleanup: detach and unlink the segment (idempotent)."""
+        shm = self._shm
+        self.close()
+        if not self._owner:
+            return
+        self._owner = False
+        _LIVE_SEGMENTS.discard(self.name)
+        try:
+            (shm or shared_memory.SharedMemory(name=self.name)).unlink()
+        except FileNotFoundError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._shm is None else ("owner" if self._owner else "attached")
+        return f"SharedMatrix({self.name!r}, shape={self.shape}, {state})"
+
+
+def as_ndarray(obj: "SharedMatrix | np.ndarray") -> np.ndarray:
+    """The ndarray behind either a plain array or a shared handle.
+
+    Task functions call this on their inputs so the same code runs
+    unchanged in-process (plain arrays) and in workers (shared handles).
+    """
+    if isinstance(obj, SharedMatrix):
+        return obj.array
+    return np.asarray(obj)
+
+
+@contextlib.contextmanager
+def shared_arrays(pool, *arrays: np.ndarray) -> Iterator[tuple]:
+    """Share ``arrays`` for the duration of a parallel map.
+
+    Yields shared handles when ``pool`` will fan out to processes, or the
+    original arrays untouched otherwise; owner segments are destroyed on
+    exit no matter how the block ends.
+    """
+    if pool is None or not pool.parallel:
+        yield arrays
+        return
+    handles = [SharedMatrix.from_array(a) for a in arrays]
+    try:
+        yield tuple(handles)
+    finally:
+        for handle in handles:
+            handle.destroy()

@@ -19,6 +19,7 @@ from repro.data.synthetic import GroundTruth, WorldConfig
 from repro.data.synthetic_text import QueryItemDataset
 from repro.obs import span
 from repro.obs.metrics import counter_add
+from repro.parallel import get_pool
 from repro.prediction.cvr_model import CVRModel
 from repro.prediction.features import FeatureAssembler
 from repro.taxonomy.builder import Taxonomy
@@ -32,25 +33,54 @@ __all__ = [
 ]
 
 
+def _score_users_chunk(task: tuple, context: tuple) -> np.ndarray:
+    """Score one fixed user-range against every candidate item.
+
+    Module-level so worker processes can execute it; the (model,
+    assembler, candidates) context is broadcast once per map.
+    """
+    start, stop = task
+    model, assembler, candidate_items = context
+    n_cand = len(candidate_items)
+    users = np.repeat(np.arange(start, stop), n_cand)
+    items = np.tile(candidate_items, stop - start)
+    feats = assembler.assemble(users, items)
+    counter_add("serving.pairs_scored", (stop - start) * n_cand)
+    return model.predict_proba(feats).reshape(stop - start, n_cand)
+
+
 def cvr_score_table(
     model: CVRModel,
     assembler: FeatureAssembler,
     num_users: int,
     candidate_items: np.ndarray,
     batch_users: int = 64,
+    workers: int | None = None,
 ) -> np.ndarray:
-    """(num_users, num_candidates) model scores for slate ranking."""
+    """(num_users, num_candidates) model scores for slate ranking.
+
+    User batches are scored independently — over a process pool when
+    ``workers`` (or the configured default) exceeds one — and written
+    back in batch order, so the table is bitwise identical for every
+    worker count.
+    """
     candidate_items = np.asarray(candidate_items, dtype=np.int64)
     n_cand = len(candidate_items)
     table = np.zeros((num_users, n_cand))
+    pool = get_pool(workers)
+    tasks = [
+        (start, min(start + batch_users, num_users))
+        for start in range(0, num_users, batch_users)
+    ]
     with span("serving.score_table", num_users=num_users, num_candidates=n_cand):
-        for start in range(0, num_users, batch_users):
-            stop = min(start + batch_users, num_users)
-            users = np.repeat(np.arange(start, stop), n_cand)
-            items = np.tile(candidate_items, stop - start)
-            feats = assembler.assemble(users, items)
-            table[start:stop] = model.predict_proba(feats).reshape(stop - start, n_cand)
-            counter_add("serving.pairs_scored", (stop - start) * n_cand)
+        blocks = pool.map(
+            _score_users_chunk,
+            tasks,
+            context=(model, assembler, candidate_items),
+            label="serving.score_chunk",
+        )
+        for (start, stop), block in zip(tasks, blocks):
+            table[start:stop] = block
     return table
 
 

@@ -24,6 +24,13 @@ class ScoreTableRecommender(Recommender):
 
     Scoring every (user, candidate) pair up front keeps the serving loop
     fast and makes the recommender deterministic.
+
+    Ranking is lazy: instead of a full ``argsort`` of every row at
+    construction (O(U·C·log C) before the first request is served), each
+    served user gets an ``argpartition`` top-k selection on first use —
+    O(C + k·log k) — with the selected prefix cached for repeat visits.
+    Tie-breaking reproduces the stable full sort exactly: ties at the
+    slate boundary go to the lowest candidate index.
     """
 
     def __init__(self, scores: np.ndarray, candidate_items: np.ndarray) -> None:
@@ -31,12 +38,35 @@ class ScoreTableRecommender(Recommender):
         candidate_items = np.asarray(candidate_items, dtype=np.int64)
         if scores.ndim != 2 or scores.shape[1] != len(candidate_items):
             raise ValueError("scores must be (num_users, num_candidates)")
-        self._ranked = np.argsort(-scores, axis=1, kind="mergesort")
+        self._scores = scores
         self._candidates = candidate_items
+        # user -> (k, top-k column indices); reused whenever the cached
+        # prefix covers the requested k.
+        self._topk_cache: dict[int, tuple[int, np.ndarray]] = {}
+
+    def _top_indices(self, user: int, k: int) -> np.ndarray:
+        row = self._scores[user]
+        n = row.shape[0]
+        if k >= n:
+            return np.argsort(-row, kind="mergesort")
+        # kth-largest value bounds the slate; everything strictly above
+        # it is in, ties on the boundary are filled lowest-index-first —
+        # exactly the stable mergesort's tie order.
+        thresh = np.partition(row, n - k)[n - k]
+        above = np.flatnonzero(row > thresh)
+        equal = np.flatnonzero(row == thresh)[: k - len(above)]
+        take = np.concatenate([above, equal])
+        return take[np.lexsort((take, -row[take]))]
 
     def recommend(self, user: int, k: int) -> np.ndarray:
         counter_add("serving.recommendations", 1)
-        return self._candidates[self._ranked[user, :k]]
+        if k <= 0:
+            return self._candidates[:0]
+        cached = self._topk_cache.get(user)
+        if cached is None or cached[0] < k:
+            cached = (k, self._top_indices(user, k))
+            self._topk_cache[user] = cached
+        return self._candidates[cached[1][:k]]
 
 
 class PopularityRecommender(Recommender):
@@ -78,14 +108,37 @@ class TaxonomyRecommender(Recommender):
             set(int(i) for i in candidate_items) if candidate_items is not None else None
         )
         self.rng = ensure_rng(rng)
+        # Candidate-filtered, popularity-ordered item list per topic,
+        # computed once here instead of filtered + sorted on every
+        # recommend() call.  Stable sort keeps tie order identical to the
+        # per-call path (ties follow the topic's item order).
+        self._topic_ranked: dict[str, list[int]] = {
+            topic_id: self._rank_topic_items(topic_id)
+            for topic_id in self.taxonomy.topics
+        }
+        if self.candidate_set is not None:
+            pool = np.array(sorted(self.candidate_set), dtype=np.int64)
+            order = np.argsort(-self.click_counts[pool], kind="mergesort")
+            self._ranked_candidates: list[int] = [int(i) for i in pool[order]]
+        else:
+            self._ranked_candidates = []
 
-    def _topic_items(self, topic_id: str) -> np.ndarray:
-        items = self.taxonomy.topics[topic_id].items
+    def _rank_topic_items(self, topic_id: str) -> list[int]:
+        items = np.asarray(self.taxonomy.topics[topic_id].items, dtype=np.int64)
         if self.candidate_set is not None:
             items = np.array(
                 [i for i in items if int(i) in self.candidate_set], dtype=np.int64
             )
-        return items
+        if not len(items):
+            return []
+        order = np.argsort(-self.click_counts[items], kind="mergesort")
+        return [int(i) for i in items[order]]
+
+    def _topic_items_ranked(self, topic_id: str) -> list[int]:
+        ranked = self._topic_ranked.get(topic_id)
+        if ranked is None:  # topic added after construction
+            ranked = self._topic_ranked[topic_id] = self._rank_topic_items(topic_id)
+        return ranked
 
     def recommend(self, user: int, k: int) -> np.ndarray:
         counter_add("serving.recommendations", 1)
@@ -100,12 +153,11 @@ class TaxonomyRecommender(Recommender):
             for topic_id in frontier:
                 if topic_id not in self.taxonomy.topics:
                     continue
-                items = self._topic_items(topic_id)
-                fresh = [int(i) for i in items if int(i) not in seen]
-                fresh.sort(key=lambda i: -self.click_counts[i])
-                for item in fresh:
+                for item in self._topic_items_ranked(topic_id):
                     if len(slate) >= k:
                         break
+                    if item in seen:
+                        continue
                     slate.append(item)
                     seen.add(item)
                 parent = self.taxonomy.topics[topic_id].parent
@@ -114,6 +166,6 @@ class TaxonomyRecommender(Recommender):
             frontier = next_frontier
         if len(slate) < k and self.candidate_set is not None:
             # Back-fill with popular candidates outside the user's topics.
-            pool = sorted(self.candidate_set - seen, key=lambda i: -self.click_counts[i])
-            slate.extend(pool[: k - len(slate)])
+            fill = [i for i in self._ranked_candidates if i not in seen]
+            slate.extend(fill[: k - len(slate)])
         return np.asarray(slate[:k], dtype=np.int64)

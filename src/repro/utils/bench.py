@@ -26,12 +26,25 @@ Schema v2 stamps each report with the git commit it was produced at
 counter-derived throughput columns — vertices/sec, samples/sec,
 edges/sec — measured by re-running each "after" workload once under a
 :mod:`repro.obs` session and dividing the observed work counters by the
-best wall time.  :func:`load_report` still reads v1 files.
+best wall time.
+
+Schema v3 adds two sections plus a ``cpu_count`` stamp:
+
+* ``parallel`` — the three pool-backed hot paths (layer-wise
+  ``embed_all``, k-means restarts, ``cvr_score_table``) timed at
+  ``workers=1`` vs ``workers=N``.  Interpret the speedup column against
+  ``cpu_count``: on a single-core box process fan-out cannot beat the
+  in-process path and the honest number is ≤ 1.
+* ``score_topk`` — eager full-table ``argsort`` ranking vs the lazy
+  per-user ``argpartition`` top-k of :class:`ScoreTableRecommender`.
+
+:func:`load_report` still reads v1 and v2 files.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import time
@@ -40,8 +53,9 @@ from typing import Any, Callable
 
 import numpy as np
 
-SCHEMA = "repro/hotpath-bench/v2"
+SCHEMA = "repro/hotpath-bench/v3"
 SCHEMA_V1 = "repro/hotpath-bench/v1"
+SCHEMA_V2 = "repro/hotpath-bench/v2"
 DEFAULT_REPORT = "BENCH_hotpaths.json"
 
 # (num_users, num_items, num_edges) per benchmarked graph.
@@ -54,6 +68,16 @@ KMEANS_SIZES: dict[str, list[tuple[int, int, int]]] = {
     "quick": [(1500, 16, 24)],
     "full": [(1500, 16, 24), (6000, 32, 48)],
 }
+# (num_users, num_candidates, slate_k, queries) per top-k workload.
+SCORE_SIZES: dict[str, list[tuple[int, int, int, int]]] = {
+    "quick": [(400, 300, 10, 50)],
+    "full": [(2000, 800, 10, 100)],
+}
+# (num_users, num_candidates, batch_users) for the parallel score-table row.
+PARALLEL_SCORE_SIZES: dict[str, tuple[int, int, int]] = {
+    "quick": (256, 48, 32),
+    "full": (1024, 96, 64),
+}
 
 __all__ = [
     "bench_hotpaths",
@@ -63,6 +87,7 @@ __all__ = [
     "git_commit",
     "SCHEMA",
     "SCHEMA_V1",
+    "SCHEMA_V2",
     "DEFAULT_REPORT",
 ]
 
@@ -275,12 +300,150 @@ def _bench_kmeans(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
     return rows
 
 
-def bench_hotpaths(mode: str = "quick", seed: int = 0, repeats: int = 3) -> dict[str, Any]:
+def _bench_score_topk(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
+    """Eager full-table ranking vs the lazy per-user top-k recommender."""
+    from repro.serving.recommend import ScoreTableRecommender
+
+    rows = []
+    for num_users, n_cand, k, n_queries in SCORE_SIZES[mode]:
+        rng = np.random.default_rng(seed)
+        scores = rng.random((num_users, n_cand))
+        candidates = np.arange(n_cand, dtype=np.int64)
+        query_users = rng.integers(0, num_users, size=n_queries)
+
+        def run_eager() -> None:
+            ranked = np.argsort(-scores, axis=1, kind="mergesort")
+            for user in query_users:
+                candidates[ranked[user, :k]]
+
+        def run_lazy() -> None:
+            recommender = ScoreTableRecommender(scores, candidates)
+            for user in query_users:
+                recommender.recommend(int(user), k)
+
+        before = _best_of(run_eager, repeats)
+        after = _best_of(run_lazy, repeats)
+        rows.append(
+            {
+                "variant": "score_topk",
+                "n": num_users,
+                "candidates": n_cand,
+                "k": k,
+                "queries": int(n_queries),
+                "before_s": round(before, 6),
+                "after_s": round(after, 6),
+                "speedup": round(before / after, 2),
+            }
+        )
+    return rows
+
+
+def _bench_parallel(
+    mode: str, seed: int, repeats: int, workers: int
+) -> list[dict[str, Any]]:
+    """The pool-backed hot paths at ``workers=1`` vs ``workers=N``.
+
+    Same seeded workload both times — the outputs are bitwise equal by
+    design, so the rows compare cost only.  On machines where
+    ``os.cpu_count()`` is 1 the parallel row is expected to be *slower*
+    (IPC with no extra cores); the report records it honestly.
+    """
+    from repro.clustering.kmeans import kmeans
+    from repro.prediction.cvr_model import CVRModel
+    from repro.prediction.features import FeatureAssembler
+    from repro.serving.pipeline import cvr_score_table
+    from repro.utils.config import KMeansConfig
+
+    rows = []
+
+    size = GRAPH_SIZES[mode][-1]
+    graph = _graph(size, feature_dim=8, seed=seed)
+    module = _sage_module(graph, seed)
+    serial = _best_of(
+        lambda: module.embed_all(graph, batch_size=256, workers=1), repeats
+    )
+    parallel = _best_of(
+        lambda: module.embed_all(graph, batch_size=256, workers=workers), repeats
+    )
+    rows.append(
+        {
+            "variant": "embed_all_layerwise",
+            "graph": _graph_meta(size),
+            "workers": workers,
+            "before_s": round(serial, 6),
+            "after_s": round(parallel, 6),
+            "speedup": round(serial / parallel, 2),
+        }
+    )
+
+    n, dim, k = KMEANS_SIZES[mode][-1]
+    points = np.random.default_rng(seed).normal(size=(n, dim))
+    cfg = KMeansConfig(algorithm="lloyd", n_init=4, max_iter=15)
+    serial = _best_of(
+        lambda: kmeans(points, k, cfg, rng=np.random.default_rng(seed), workers=1),
+        repeats,
+    )
+    parallel = _best_of(
+        lambda: kmeans(points, k, cfg, rng=np.random.default_rng(seed), workers=workers),
+        repeats,
+    )
+    rows.append(
+        {
+            "variant": "kmeans_restarts",
+            "n": n,
+            "dim": dim,
+            "k": k,
+            "n_init": cfg.n_init,
+            "workers": workers,
+            "before_s": round(serial, 6),
+            "after_s": round(parallel, 6),
+            "speedup": round(serial / parallel, 2),
+        }
+    )
+
+    num_users, n_cand, batch_users = PARALLEL_SCORE_SIZES[mode]
+    rng = np.random.default_rng(seed)
+    assembler = FeatureAssembler(
+        rng.normal(size=(num_users, 8)), rng.normal(size=(n_cand, 8))
+    )
+    model = CVRModel(assembler.feature_dim, hidden=(32, 16), rng=seed)
+    candidates = np.arange(n_cand, dtype=np.int64)
+    serial = _best_of(
+        lambda: cvr_score_table(
+            model, assembler, num_users, candidates, batch_users, workers=1
+        ),
+        repeats,
+    )
+    parallel = _best_of(
+        lambda: cvr_score_table(
+            model, assembler, num_users, candidates, batch_users, workers=workers
+        ),
+        repeats,
+    )
+    rows.append(
+        {
+            "variant": "cvr_score_table",
+            "n": num_users,
+            "candidates": n_cand,
+            "k": n_cand,
+            "workers": workers,
+            "before_s": round(serial, 6),
+            "after_s": round(parallel, 6),
+            "speedup": round(serial / parallel, 2),
+        }
+    )
+    return rows
+
+
+def bench_hotpaths(
+    mode: str = "quick", seed: int = 0, repeats: int = 3, workers: int = 4
+) -> dict[str, Any]:
     """Time every hot path and return the report dict.
 
     ``mode`` selects the workload grid (``quick`` for CI smoke, ``full``
     for the tracked record); ``seed`` fixes every workload so runs are
-    comparable; ``repeats`` takes the best of N timings.
+    comparable; ``repeats`` takes the best of N timings; ``workers`` is
+    the pool size the ``parallel`` section compares against serial.
     """
     if mode not in GRAPH_SIZES:
         raise ValueError(f"unknown bench mode {mode!r} (use 'quick' or 'full')")
@@ -290,6 +453,8 @@ def bench_hotpaths(mode: str = "quick", seed: int = 0, repeats: int = 3) -> dict
         "mode": mode,
         "seed": seed,
         "repeats": repeats,
+        "workers": workers,
+        "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
         "benchmarks": {
@@ -297,6 +462,8 @@ def bench_hotpaths(mode: str = "quick", seed: int = 0, repeats: int = 3) -> dict
             "train_epoch": _bench_train_epoch(mode, seed, repeats),
             "weighted_sampling": _bench_weighted_sampling(mode, seed, repeats),
             "kmeans": _bench_kmeans(mode, seed, repeats),
+            "parallel": _bench_parallel(mode, seed, repeats, workers),
+            "score_topk": _bench_score_topk(mode, seed, repeats),
         },
     }
 
@@ -309,17 +476,21 @@ def write_report(report: dict[str, Any], path: str | Path = DEFAULT_REPORT) -> P
 
 
 def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any]:
-    """Read a report, upgrading v1 files to the v2 shape in memory.
+    """Read a report, upgrading v1/v2 files to the v3 shape in memory.
 
-    v1 reports predate the commit stamp and throughput columns; the
-    loader fills ``git_commit`` with None and leaves rows as-is (v2
-    columns are optional per-row), so consumers only handle one shape.
+    v1 reports predate the commit stamp and throughput columns; v2
+    reports predate the ``parallel``/``score_topk`` sections and the
+    ``cpu_count``/``workers`` stamps.  The loader fills the missing
+    top-level fields with None and leaves rows as-is (newer columns are
+    optional per-row), so consumers only handle one shape.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
-    if schema == SCHEMA_V1:
+    if schema in (SCHEMA_V1, SCHEMA_V2):
         report["schema"] = SCHEMA
         report.setdefault("git_commit", None)
+        report.setdefault("cpu_count", None)
+        report.setdefault("workers", None)
     elif schema != SCHEMA:
         raise ValueError(f"unknown bench report schema {schema!r} in {path}")
     return report
@@ -328,10 +499,13 @@ def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any]:
 def render_report(report: dict[str, Any]) -> str:
     """Plain-text table of every benchmark row (before/after/speedup)."""
     commit = report.get("git_commit")
+    cpus = report.get("cpu_count")
     lines = [
         f"hot-path benchmark — mode={report['mode']} seed={report['seed']} "
         f"repeats={report['repeats']} (numpy {report['numpy']}, "
-        f"commit {commit[:12] if commit else 'unknown'})",
+        f"commit {commit[:12] if commit else 'unknown'}"
+        + (f", cpus={cpus}" if cpus else "")
+        + ")",
         f"{'benchmark':<20} {'workload':<28} {'before':>10} {'after':>10} "
         f"{'speedup':>8} {'throughput':>16}",
     ]

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["ensure_rng", "derive_rng", "RngMixin"]
+__all__ = ["ensure_rng", "derive_rng", "clone_rng", "RngMixin"]
 
 
 def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -25,15 +25,35 @@ def ensure_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
     return np.random.default_rng(seed)
 
 
-def derive_rng(rng: np.random.Generator, *keys: int) -> np.random.Generator:
+def derive_rng(rng: int | np.random.Generator, *keys: int) -> np.random.Generator:
     """Derive an independent child generator from ``rng``.
 
     Useful when one seed must fan out into several independent streams
     (e.g. model init vs. negative sampling) without coupling their state.
     ``keys`` disambiguate multiple children derived from the same parent.
+
+    When ``rng`` is a plain integer the child is a pure function of
+    ``(rng, *keys)`` and no generator state is consumed — the form the
+    parallel execution layer uses to hand each work chunk its own stream
+    regardless of how many workers execute the chunks.
     """
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(np.random.SeedSequence([int(rng), *keys]))
     seed_material = list(rng.integers(0, 2**63 - 1, size=2)) + list(keys)
     return np.random.default_rng(np.random.SeedSequence(seed_material))
+
+
+def clone_rng(rng: np.random.Generator) -> np.random.Generator:
+    """An independent generator starting at ``rng``'s current state.
+
+    Draws from the clone reproduce what draws from ``rng`` would have
+    produced, without advancing ``rng`` itself — used to keep the first
+    k-means restart bit-identical to the single-restart path while the
+    remaining restarts run on derived streams.
+    """
+    clone = np.random.default_rng()
+    clone.bit_generator.state = rng.bit_generator.state
+    return clone
 
 
 class RngMixin:

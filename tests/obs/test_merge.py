@@ -1,0 +1,108 @@
+"""Cross-process obs plumbing: registry merge, span serialisation, adopt.
+
+These are the primitives ``repro.parallel`` uses to carry counters and
+span trees from worker processes back into the parent session, tested
+here in-process without any pool.
+"""
+
+import numpy as np
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, Tracer
+
+
+def _filled_registry(counter=3.0, gauge=1.5, samples=(1.0, 5.0, 3.0)):
+    reg = MetricsRegistry()
+    reg.counter_add("jobs", counter)
+    reg.gauge_set("queue_depth", gauge)
+    for value in samples:
+        reg.observe("latency", value)
+    return reg
+
+
+class TestRegistryMerge:
+    def test_counters_accumulate(self):
+        parent = _filled_registry(counter=3.0)
+        parent.merge(_filled_registry(counter=4.0).snapshot())
+        assert parent.counter("jobs") == 7.0
+
+    def test_merge_into_empty_registry(self):
+        parent = MetricsRegistry()
+        parent.merge(_filled_registry().snapshot())
+        assert parent.snapshot() == _filled_registry().snapshot()
+
+    def test_gauges_last_merge_wins(self):
+        parent = _filled_registry(gauge=1.5)
+        parent.merge(_filled_registry(gauge=9.0).snapshot())
+        parent.merge(_filled_registry(gauge=2.5).snapshot())
+        assert parent.gauges["queue_depth"] == 2.5
+
+    def test_histograms_combine_stats(self):
+        parent = _filled_registry(samples=(1.0, 5.0))
+        parent.merge(_filled_registry(samples=(0.5, 9.0, 2.0)).snapshot())
+        hist = parent.snapshot()["histograms"]["latency"]
+        assert hist["count"] == 5
+        assert hist["sum"] == 17.5
+        assert hist["min"] == 0.5
+        assert hist["max"] == 9.0
+        assert np.isclose(hist["mean"], 3.5)
+
+    def test_merge_empty_snapshot_is_noop(self):
+        parent = _filled_registry()
+        before = parent.snapshot()
+        parent.merge({})
+        assert parent.snapshot() == before
+
+
+def _finished_tree():
+    """A two-level finished span forest on a throwaway tracer."""
+    tracer = Tracer()
+    with tracer.start("root", {"pid": 42}):
+        with tracer.start("child_a", {"n": 1}):
+            pass
+        with tracer.start("child_b"):
+            pass
+    return tracer.roots[0]
+
+
+class TestSpanSerialisation:
+    def test_roundtrip_preserves_tree(self):
+        original = _finished_tree()
+        rebuilt = Span.from_dict(original.to_dict(), Tracer())
+        assert rebuilt.name == "root"
+        assert rebuilt.attrs == {"pid": 42}
+        assert [c.name for c in rebuilt.children] == ["child_a", "child_b"]
+        assert rebuilt.children[0].attrs == {"n": 1}
+        assert rebuilt.start_s == original.start_s
+        assert rebuilt.end_s == original.end_s
+
+    def test_open_span_serialises_with_zero_duration(self):
+        tracer = Tracer()
+        sp = tracer.start("open")
+        data = sp.to_dict()
+        assert data["end_s"] == data["start_s"]
+        tracer.close()
+
+
+class TestTracerAdopt:
+    def test_adopt_under_open_span(self):
+        payload = [_finished_tree().to_dict()]
+        tracer = Tracer()
+        with tracer.start("parent_map"):
+            tracer.adopt(payload)
+        assert [r.name for r in tracer.roots] == ["parent_map"]
+        adopted = tracer.roots[0].children
+        assert [s.name for s in adopted] == ["root"]
+        assert [c.name for c in adopted[0].children] == ["child_a", "child_b"]
+
+    def test_adopt_without_open_span_adds_roots(self):
+        tracer = Tracer()
+        tracer.adopt([_finished_tree().to_dict(), _finished_tree().to_dict()])
+        assert [r.name for r in tracer.roots] == ["root", "root"]
+
+    def test_adopted_spans_walk_with_depths(self):
+        tracer = Tracer()
+        with tracer.start("outer"):
+            tracer.adopt([_finished_tree().to_dict()])
+        depths = {sp.name: depth for sp, depth in tracer.all_spans()}
+        assert depths == {"outer": 0, "root": 1, "child_a": 2, "child_b": 2}

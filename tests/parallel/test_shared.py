@@ -1,0 +1,119 @@
+"""SharedMatrix lifecycle: zero-copy views, pickling, guaranteed cleanup."""
+
+import pickle
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.parallel import (
+    SharedMatrix,
+    WorkerPool,
+    active_segment_names,
+    as_ndarray,
+    shared_arrays,
+)
+
+
+class TestSharedMatrix:
+    def test_roundtrip_values(self):
+        data = np.random.default_rng(0).normal(size=(37, 5))
+        handle = SharedMatrix.from_array(data)
+        try:
+            assert np.array_equal(handle.array, data)
+            assert handle.array.dtype == data.dtype
+        finally:
+            handle.destroy()
+
+    def test_view_is_read_only(self):
+        handle = SharedMatrix.from_array(np.ones((4, 4)))
+        try:
+            view = handle.array
+            assert not view.flags.writeable
+            with pytest.raises(ValueError):
+                view[0, 0] = 2.0
+        finally:
+            handle.destroy()
+
+    def test_pickle_attaches_by_name(self):
+        data = np.arange(12.0).reshape(3, 4)
+        owner = SharedMatrix.from_array(data)
+        try:
+            # The pickled payload is tiny metadata, never the matrix.
+            blob = pickle.dumps(owner)
+            assert len(blob) < 512
+            attached = pickle.loads(blob)
+            try:
+                assert attached.name == owner.name
+                assert np.array_equal(attached.array, data)
+            finally:
+                attached.close()
+        finally:
+            owner.destroy()
+
+    def test_destroy_unlinks_segment(self):
+        handle = SharedMatrix.from_array(np.zeros(8))
+        name = handle.name
+        assert name in active_segment_names()
+        handle.destroy()
+        assert name not in active_segment_names()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
+    def test_destroy_idempotent(self):
+        handle = SharedMatrix.from_array(np.zeros(3))
+        handle.destroy()
+        handle.destroy()  # second call is a no-op
+
+    def test_empty_array(self):
+        handle = SharedMatrix.from_array(np.empty((0, 4)))
+        try:
+            assert handle.array.shape == (0, 4)
+        finally:
+            handle.destroy()
+
+    def test_as_ndarray_passthrough(self):
+        plain = np.ones(3)
+        assert as_ndarray(plain) is plain
+        handle = SharedMatrix.from_array(plain)
+        try:
+            assert np.array_equal(as_ndarray(handle), plain)
+        finally:
+            handle.destroy()
+
+
+class TestSharedArrays:
+    def test_serial_pool_passes_arrays_through(self):
+        a, b = np.ones(3), np.zeros(2)
+        with shared_arrays(WorkerPool(1), a, b) as (ha, hb):
+            assert ha is a and hb is b  # no copies, no segments
+        assert active_segment_names() == set()
+
+    def test_none_pool_passes_arrays_through(self):
+        a = np.ones(3)
+        with shared_arrays(None, a) as (ha,):
+            assert ha is a
+
+    @pytest.mark.parallel
+    def test_parallel_pool_shares_and_cleans_up(self):
+        pool = WorkerPool(2)
+        try:
+            a = np.random.default_rng(1).normal(size=(9, 3))
+            with shared_arrays(pool, a) as (handle,):
+                assert isinstance(handle, SharedMatrix)
+                assert np.array_equal(handle.array, a)
+                assert handle.name in active_segment_names()
+            assert active_segment_names() == set()
+        finally:
+            pool.shutdown()
+
+    @pytest.mark.parallel
+    def test_cleanup_on_exception(self):
+        pool = WorkerPool(2)
+        try:
+            with pytest.raises(RuntimeError):
+                with shared_arrays(pool, np.ones(5)):
+                    raise RuntimeError("boom")
+            assert active_segment_names() == set()
+        finally:
+            pool.shutdown()

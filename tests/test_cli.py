@@ -62,7 +62,8 @@ class TestCommands:
         assert data["schema"] == bench.SCHEMA
         assert "git_commit" in data
         assert set(data["benchmarks"]) == {
-            "embed_all", "train_epoch", "weighted_sampling", "kmeans"
+            "embed_all", "train_epoch", "weighted_sampling", "kmeans",
+            "parallel", "score_topk",
         }
         assert data["benchmarks"]["embed_all"][0]["vertices_per_sec"] > 0
 
