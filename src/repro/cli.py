@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli taxonomy [--size small] [--levels 3] [--seed 0]
     python -m repro.cli ab      [--size tiny]  [--days 2] [--seed 0]
     python -m repro.cli bench   [--mode quick] [--out BENCH_hotpaths.json]
+    python -m repro.cli lint    [PATHS ...] [--format json] [--write-baseline]
 
 Each subcommand regenerates one of the paper's experiments at the
 chosen scale and prints the result table.  For the full reproducible
@@ -74,6 +75,13 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--out", default="BENCH_hotpaths.json")
     _workers_flag(bench)
     _logging_flags(bench)
+
+    lint = sub.add_parser(
+        "lint", help="static analysis: determinism / fork-safety / obs hygiene"
+    )
+    from repro.lint.cli import configure_parser as _configure_lint
+
+    _configure_lint(lint)
 
     return parser
 
@@ -249,18 +257,25 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint.cli import cmd_lint as run
+
+    return run(args)
+
+
 _COMMANDS = {
     "stats": cmd_stats,
     "table3": cmd_table3,
     "taxonomy": cmd_taxonomy,
     "ab": cmd_ab,
     "bench": cmd_bench,
+    "lint": cmd_lint,
 }
 
 
 def _setup_logging(args: argparse.Namespace) -> None:
-    level = args.log_level
-    if level is None and args.verbose:
+    level = getattr(args, "log_level", None)
+    if level is None and getattr(args, "verbose", 0):
         level = "debug" if args.verbose > 1 else "info"
     if level is not None:
         from repro.utils.logging import configure_logging

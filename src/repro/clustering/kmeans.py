@@ -122,11 +122,12 @@ def kmeans(
                 _restart_task(task, (points, n_clusters, config, pool))
                 for task in tasks
             ]
-        best: KMeansResult | None = None
-        for result in results:  # submission order -> deterministic ties
-            if best is None or result.inertia < best.inertia:
+        if not results:
+            raise RuntimeError("k-means fan-out returned no restart results")
+        best = results[0]
+        for result in results[1:]:  # submission order -> deterministic ties
+            if result.inertia < best.inertia:
                 best = result
-        assert best is not None
         counter_add("kmeans.runs", 1)
         counter_add("kmeans.points_assigned", len(points))
         kspan.set(n_iter=best.n_iter, inertia=best.inertia)

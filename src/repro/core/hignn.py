@@ -90,14 +90,13 @@ class HiGNN:
             graph.num_items,
             graph.num_edges,
         )
-        level_span = span(
+        with span(
             "hignn.level",
             level=level,
             num_users=graph.num_users,
             num_items=graph.num_items,
             num_edges=graph.num_edges,
-        )
-        with level_span:
+        ) as level_span:
             module = BipartiteGraphSAGE(
                 user_dim=graph.user_features.shape[1],
                 item_dim=graph.item_features.shape[1],

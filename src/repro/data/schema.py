@@ -53,7 +53,7 @@ class InteractionLog:
 
     def filter_days(self, days: set[int] | list[int]) -> "InteractionLog":
         """Rows whose day stamp is in ``days``."""
-        wanted = np.isin(self.days, list(days))
+        wanted = np.isin(self.days, sorted(days))
         return InteractionLog(
             users=self.users[wanted],
             items=self.items[wanted],

@@ -1,0 +1,95 @@
+"""Checked-in JSON baseline: pre-existing findings that don't block CI.
+
+The baseline stores fingerprints (file + rule + normalized source line +
+occurrence index — see :func:`repro.lint.findings.assign_fingerprints`),
+so it survives line-number drift but *not* edits to the offending line:
+touch a baselined line and its finding comes back fresh, which is the
+point — debt must be re-justified when the code around it changes.
+
+Workflow: ``repro lint src/ --write-baseline`` snapshots the current
+findings; subsequent runs report only findings whose fingerprint is not
+in the file.  Entries whose finding disappeared are reported as stale so
+the file can be shrunk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro.lint.findings import Finding
+
+__all__ = ["Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """Fingerprint-keyed set of accepted findings."""
+
+    entries: dict[str, dict[str, Any]] = field(default_factory=dict)
+    path: Path | None = None
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Baseline":
+        path = Path(path)
+        if not path.is_file():
+            return cls(path=path)
+        data = json.loads(path.read_text())
+        version = data.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"baseline {path} has version {version!r}; "
+                f"this tool reads version {BASELINE_VERSION}"
+            )
+        entries = {entry["fingerprint"]: entry for entry in data.get("entries", [])}
+        return cls(entries=entries, path=path)
+
+    @classmethod
+    def from_findings(cls, findings: "list[Finding]", path: "Path | None" = None) -> "Baseline":
+        entries = {
+            f.fingerprint: {
+                "fingerprint": f.fingerprint,
+                "code": f.code,
+                "path": f.path,
+                "line": f.line,
+                "message": f.message,
+            }
+            for f in findings
+        }
+        return cls(entries=entries, path=path)
+
+    def split(
+        self, findings: "list[Finding]"
+    ) -> "tuple[list[Finding], list[Finding], list[dict[str, Any]]]":
+        """Partition into ``(fresh, baselined)`` plus stale entries."""
+        fresh: list[Finding] = []
+        baselined: list[Finding] = []
+        seen: set[str] = set()
+        for finding in findings:
+            if finding.fingerprint in self.entries:
+                baselined.append(finding)
+                seen.add(finding.fingerprint)
+            else:
+                fresh.append(finding)
+        stale = [
+            entry for fp, entry in sorted(self.entries.items()) if fp not in seen
+        ]
+        return fresh, baselined, stale
+
+    def to_json(self) -> dict[str, Any]:
+        ordered = sorted(
+            self.entries.values(),
+            key=lambda e: (e.get("path", ""), e.get("line", 0), e.get("code", "")),
+        )
+        return {"version": BASELINE_VERSION, "tool": "repro.lint", "entries": ordered}
+
+    def write(self, path: "Path | str | None" = None) -> Path:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no baseline path to write to")
+        target.write_text(json.dumps(self.to_json(), indent=2, sort_keys=False) + "\n")
+        return target

@@ -1,0 +1,185 @@
+"""The ``repro lint`` subcommand: text/JSON output, baseline, exit codes.
+
+Exit codes: ``0`` clean (no findings outside the baseline), ``1`` fresh
+findings, ``2`` usage or I/O errors.  ``--write-baseline`` snapshots the
+current findings into the baseline file and exits 0.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.lint.baseline import Baseline
+from repro.lint.config import load_config
+from repro.lint.registry import RULES, all_rules
+from repro.lint.runner import LintResult, run_lint
+
+__all__ = ["configure_parser", "cmd_lint"]
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint subcommand's arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="output format",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline JSON (default: [tool.repro.lint].baseline)",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every finding, ignoring any baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="snapshot current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to run (default: all enabled)",
+    )
+    parser.add_argument(
+        "--disable",
+        default=None,
+        metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+
+
+def _resolve_enabled(args: argparse.Namespace, config) -> "set[str] | None":
+    enabled = config.enabled_codes(sorted(RULES))
+    if args.select:
+        selected = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+        unknown = selected - set(RULES)
+        if unknown:
+            raise SystemExit(_usage_error(f"unknown rule codes: {sorted(unknown)}"))
+        enabled = selected
+    if args.disable:
+        enabled = enabled - {
+            code.strip().upper() for code in args.disable.split(",") if code.strip()
+        }
+    return enabled
+
+
+def _usage_error(message: str) -> int:
+    print(f"repro lint: {message}", file=sys.stderr)
+    return 2
+
+
+def _print_rule_table() -> None:
+    print(f"{'code':<8} {'severity':<8} {'family':<13} description")
+    for meta in all_rules():
+        print(f"{meta.code:<8} {meta.severity!s:<8} {meta.family:<13} {meta.description}")
+
+
+def _render_text(result: LintResult, baseline_used: bool) -> str:
+    lines: list[str] = []
+    for finding in result.fresh:
+        lines.append(finding.render())
+        if finding.source_line:
+            lines.append(f"    {finding.source_line}")
+    summary = (
+        f"{len(result.fresh)} fresh finding(s) in {result.files_checked} file(s)"
+    )
+    extras = []
+    if baseline_used:
+        extras.append(f"{len(result.baselined)} baselined")
+        if result.stale_baseline:
+            extras.append(f"{len(result.stale_baseline)} stale baseline entrie(s)")
+    if result.suppressed:
+        extras.append(f"{len(result.suppressed)} suppressed")
+    if extras:
+        summary += " (" + ", ".join(extras) + ")"
+    lines.append(summary)
+    for entry in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry: {entry.get('path')}:{entry.get('line')} "
+            f"{entry.get('code')} — remove it from the baseline"
+        )
+    return "\n".join(lines)
+
+
+def _render_json(result: LintResult, baseline_used: bool) -> str:
+    return json.dumps(
+        {
+            "fresh": [f.to_dict() for f in result.fresh],
+            "baselined": [f.to_dict() for f in result.baselined],
+            "suppressed": [f.to_dict() for f in result.suppressed],
+            "stale_baseline": result.stale_baseline,
+            "files_checked": result.files_checked,
+            "baseline_used": baseline_used,
+            "clean": result.clean,
+        },
+        indent=2,
+    )
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rule_table()
+        return 0
+    config = load_config(Path.cwd())
+    try:
+        enabled = _resolve_enabled(args, config)
+    except SystemExit as exc:
+        return int(exc.code or 2)
+
+    missing = [p for p in args.paths if not Path(p).exists()]
+    if missing:
+        return _usage_error(f"no such path(s): {missing}")
+
+    baseline_path = None
+    if not args.no_baseline:
+        if args.baseline is not None:
+            baseline_path = Path(args.baseline)
+        else:
+            baseline_path = config.baseline_path()
+
+    if args.write_baseline:
+        if baseline_path is None:
+            return _usage_error("--write-baseline requires a baseline path")
+        result = run_lint(args.paths, config=config, baseline=None, enabled=enabled)
+        Baseline.from_findings(result.fresh).write(baseline_path)
+        print(
+            f"wrote {len(result.fresh)} finding(s) to {baseline_path} "
+            f"({result.files_checked} file(s) checked)"
+        )
+        return 0
+
+    baseline = None
+    if baseline_path is not None and baseline_path.is_file():
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (ValueError, json.JSONDecodeError) as exc:
+            return _usage_error(f"cannot read baseline {baseline_path}: {exc}")
+
+    result = run_lint(args.paths, config=config, baseline=baseline, enabled=enabled)
+    if args.output_format == "json":
+        print(_render_json(result, baseline is not None))
+    else:
+        print(_render_text(result, baseline is not None))
+    return 0 if result.clean else 1

@@ -1,0 +1,102 @@
+"""Lint configuration: defaults plus the ``[tool.repro.lint]`` block.
+
+Example ``pyproject.toml`` block::
+
+    [tool.repro.lint]
+    baseline = "LINT_BASELINE.json"
+    exclude = ["src/repro/_vendored"]
+    disabled = []
+
+    [tool.repro.lint.per_rule_excludes]
+    RPR101 = ["src/repro/utils/rng.py"]
+
+``exclude`` removes paths from the walk entirely; ``per_rule_excludes``
+turns individual rules off for the named paths (prefix or glob match) —
+the escape hatch for modules that *define* the sanctioned API a rule
+polices elsewhere.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = ["LintConfig", "load_config", "find_pyproject"]
+
+DEFAULT_BASELINE = "LINT_BASELINE.json"
+
+
+@dataclass
+class LintConfig:
+    """Resolved analyzer configuration."""
+
+    root: Path = field(default_factory=Path.cwd)
+    enabled: list[str] | None = None  # None = all registered rules
+    disabled: list[str] = field(default_factory=list)
+    exclude: list[str] = field(default_factory=list)
+    per_rule_excludes: dict[str, list[str]] = field(default_factory=dict)
+    baseline: str | None = DEFAULT_BASELINE
+
+    def enabled_codes(self, all_codes: "list[str]") -> set[str]:
+        codes = set(self.enabled) if self.enabled is not None else set(all_codes)
+        return codes - set(self.disabled)
+
+    def baseline_path(self) -> Path | None:
+        if not self.baseline:
+            return None
+        path = Path(self.baseline)
+        return path if path.is_absolute() else self.root / path
+
+    def is_excluded(self, relpath: str) -> bool:
+        return _matches_any(relpath, self.exclude)
+
+    def rule_excluded(self, code: str, relpath: str) -> bool:
+        return _matches_any(relpath, self.per_rule_excludes.get(code, ()))
+
+
+def _matches_any(relpath: str, patterns) -> bool:
+    path = PurePosixPath(relpath).as_posix()
+    for pattern in patterns:
+        pat = PurePosixPath(pattern).as_posix().rstrip("/")
+        if path == pat or path.startswith(pat + "/"):
+            return True
+        if fnmatch.fnmatch(path, pat):
+            return True
+    return False
+
+
+def find_pyproject(start: Path) -> Path | None:
+    """Nearest ``pyproject.toml`` at or above ``start``."""
+    current = start.resolve()
+    if current.is_file():
+        current = current.parent
+    for directory in [current, *current.parents]:
+        candidate = directory / "pyproject.toml"
+        if candidate.is_file():
+            return candidate
+    return None
+
+
+def load_config(start: "Path | str | None" = None) -> LintConfig:
+    """Config from the nearest pyproject.toml (defaults when absent)."""
+    base = Path(start) if start is not None else Path.cwd()
+    pyproject = find_pyproject(base)
+    if pyproject is None:
+        root = base if base.is_dir() else base.parent
+        return LintConfig(root=root.resolve())
+    with pyproject.open("rb") as handle:
+        data = tomllib.load(handle)
+    section = data.get("tool", {}).get("repro", {}).get("lint", {})
+    return LintConfig(
+        root=pyproject.parent,
+        enabled=list(section["enabled"]) if "enabled" in section else None,
+        disabled=[str(c) for c in section.get("disabled", [])],
+        exclude=[str(p) for p in section.get("exclude", [])],
+        per_rule_excludes={
+            str(code): [str(p) for p in paths]
+            for code, paths in section.get("per_rule_excludes", {}).items()
+        },
+        baseline=section.get("baseline", DEFAULT_BASELINE),
+    )

@@ -1,0 +1,103 @@
+"""Finding and severity types shared by every part of the analyzer.
+
+A :class:`Finding` is one rule violation at one source location.  It is
+deliberately a plain, JSON-friendly record: the runner, the baseline
+store, the CLI and the test helpers all exchange findings rather than
+AST nodes, so each layer stays independently testable.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Severity", "Finding", "normalize_line", "assign_fingerprints"]
+
+
+class Severity(enum.IntEnum):
+    """How bad a finding is; ordering follows the integer value."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    def __str__(self) -> str:
+        return self.name.lower()
+
+    @classmethod
+    def parse(cls, value: "str | int | Severity") -> "Severity":
+        if isinstance(value, Severity):
+            return value
+        if isinstance(value, int):
+            return cls(value)
+        return cls[value.upper()]
+
+
+@dataclass
+class Finding:
+    """One rule violation at one location.
+
+    ``fingerprint`` identifies the finding across line-number drift: it
+    hashes the file, the rule code and the *normalized text* of the
+    offending line (plus an occurrence index for duplicates), so
+    inserting unrelated lines above a baselined finding does not turn it
+    into a "new" one.  Fingerprints are assigned by
+    :func:`assign_fingerprints` after a file has been fully linted.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+    severity: Severity = Severity.WARNING
+    source_line: str = ""
+    fingerprint: str = field(default="", compare=False)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "severity": str(self.severity),
+            "message": self.message,
+            "source_line": self.source_line,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.code} [{self.severity}] {self.message}"
+        )
+
+
+def normalize_line(text: str) -> str:
+    """Whitespace-insensitive form of a source line (fingerprint input)."""
+    return " ".join(text.split())
+
+
+def assign_fingerprints(findings: list[Finding]) -> list[Finding]:
+    """Fill in :attr:`Finding.fingerprint` for a batch of findings.
+
+    Findings that share ``(path, code, normalized line text)`` — e.g. the
+    same violation pattern repeated verbatim — are disambiguated by an
+    occurrence index counted in line order, keeping fingerprints stable
+    under edits elsewhere in the file.
+    """
+    ordered = sorted(findings, key=Finding.sort_key)
+    seen: dict[tuple[str, str, str], int] = {}
+    for finding in ordered:
+        norm = normalize_line(finding.source_line)
+        key = (finding.path, finding.code, norm)
+        index = seen.get(key, 0)
+        seen[key] = index + 1
+        raw = f"{finding.path}|{finding.code}|{norm}|{index}"
+        finding.fingerprint = hashlib.sha1(raw.encode("utf-8")).hexdigest()[:16]
+    return ordered

@@ -1,0 +1,95 @@
+"""Rule registry: codes, metadata and per-node-type checker dispatch.
+
+A rule is a metadata record (:class:`Rule`) plus a checker function
+registered for one or more AST node types::
+
+    @rule(
+        code="RPR999",
+        name="example",
+        severity=Severity.WARNING,
+        family="determinism",
+        description="what the rule enforces",
+        nodes=(ast.Call,),
+    )
+    def check_example(node, ctx):
+        if looks_bad(node):
+            yield node, "message for this occurrence"
+
+Checkers are generators over ``(ast_node, message)`` pairs; the visitor
+turns each pair into a :class:`~repro.lint.findings.Finding` carrying the
+rule's code and severity.  Registration happens at import time of the
+:mod:`repro.lint.rules` package, so importing :mod:`repro.lint` is enough
+to have the full rule set available.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from repro.lint.findings import Severity
+
+__all__ = ["Rule", "rule", "all_rules", "get_rule", "checkers_for", "RULES"]
+
+Checker = Callable[[ast.AST, object], "Iterator[tuple[ast.AST, str]] | None"]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """Metadata for one lint rule."""
+
+    code: str
+    name: str
+    severity: Severity
+    family: str
+    description: str
+
+
+RULES: dict[str, Rule] = {}
+_CHECKERS: dict[type, list[tuple[Rule, Checker]]] = {}
+
+
+def rule(
+    *,
+    code: str,
+    name: str,
+    severity: Severity,
+    family: str,
+    description: str,
+    nodes: Iterable[type],
+) -> Callable[[Checker], Checker]:
+    """Register a checker for ``nodes`` under rule ``code``."""
+
+    def register(fn: Checker) -> Checker:
+        if code in RULES:
+            raise ValueError(f"duplicate rule code {code}")
+        meta = Rule(code, name, severity, family, description)
+        RULES[code] = meta
+        for node_type in nodes:
+            _CHECKERS.setdefault(node_type, []).append((meta, fn))
+        return fn
+
+    return register
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, sorted by code."""
+    return [RULES[code] for code in sorted(RULES)]
+
+
+def get_rule(code: str) -> Rule:
+    try:
+        return RULES[code]
+    except KeyError:
+        raise KeyError(f"unknown rule code {code!r}") from None
+
+
+def checkers_for(
+    node_type: type, enabled: "set[str] | None" = None
+) -> list[tuple[Rule, Checker]]:
+    """Checkers registered for ``node_type`` (optionally filtered)."""
+    pairs = _CHECKERS.get(node_type, [])
+    if enabled is None:
+        return list(pairs)
+    return [(meta, fn) for meta, fn in pairs if meta.code in enabled]

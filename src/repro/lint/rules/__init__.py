@@ -1,0 +1,16 @@
+"""Rule families.  Importing this package registers every rule.
+
+Modules register checkers with :func:`repro.lint.registry.rule` at import
+time; nothing here is called directly.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules import (  # noqa: F401  (imported for registration)
+    determinism,
+    fork_safety,
+    numeric_api,
+    obs_hygiene,
+)
+
+__all__ = ["determinism", "fork_safety", "obs_hygiene", "numeric_api"]

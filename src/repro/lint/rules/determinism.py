@@ -1,0 +1,179 @@
+"""Determinism rules (RPR1xx).
+
+The repo's reproducibility contract: every stochastic call threads an
+explicit ``numpy.random.Generator`` created by :mod:`repro.utils.rng`,
+no code reads wall-clock time inside numeric paths, and nothing
+materialises a ``set`` into an ordered sequence without ``sorted()``.
+One unseeded draw or hash-order iteration silently breaks the
+``workers=1`` vs ``workers=4`` bitwise-equivalence guarantee.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Severity
+from repro.lint.registry import rule
+
+__all__ = []
+
+# Consumers whose result order follows the iterable's order.
+_ORDER_SENSITIVE_BUILTINS = {"list", "tuple", "enumerate", "iter", "next", "reversed"}
+# Consumers whose result does not depend on iteration order.
+_ORDER_FREE_CALLS = {
+    "sorted",
+    "set",
+    "frozenset",
+    "sum",
+    "min",
+    "max",
+    "any",
+    "all",
+    "len",
+}
+_ORDER_SENSITIVE_NUMPY = {
+    "numpy.array",
+    "numpy.asarray",
+    "numpy.asanyarray",
+    "numpy.fromiter",
+    "numpy.stack",
+    "numpy.concatenate",
+}
+_WALL_CLOCK_CALLS = {
+    "time.time",
+    "time.time_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.date.today",
+}
+
+
+@rule(
+    code="RPR101",
+    name="global-numpy-rng",
+    severity=Severity.ERROR,
+    family="determinism",
+    description=(
+        "Calls into numpy.random.* use the process-global (or ad-hoc) RNG; "
+        "thread a Generator from repro.utils.rng instead"
+    ),
+    nodes=(ast.Call,),
+)
+def check_numpy_random_call(
+    node: ast.Call, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    name = ctx.qualname(node.func)
+    if name is not None and name.startswith("numpy.random."):
+        yield node, (
+            f"call to {name} bypasses repro.utils.rng; accept a seed/Generator "
+            "and route it through ensure_rng()/derive_rng()"
+        )
+
+
+@rule(
+    code="RPR102",
+    name="stdlib-random",
+    severity=Severity.ERROR,
+    family="determinism",
+    description=(
+        "The stdlib random module is process-global, unseeded here, and "
+        "invisible to the repo's RNG plumbing"
+    ),
+    nodes=(ast.Import, ast.ImportFrom),
+)
+def check_stdlib_random_import(
+    node: ast.Import | ast.ImportFrom, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    if isinstance(node, ast.ImportFrom):
+        if node.level == 0 and (node.module or "").split(".")[0] == "random":
+            yield node, (
+                "import from stdlib random; use repro.utils.rng generators instead"
+            )
+        return
+    for alias in node.names:
+        if alias.name.split(".")[0] == "random":
+            yield node, (
+                "import of stdlib random; use repro.utils.rng generators instead"
+            )
+
+
+@rule(
+    code="RPR103",
+    name="wall-clock-call",
+    severity=Severity.WARNING,
+    family="determinism",
+    description=(
+        "Wall-clock reads (time.time, datetime.now) are nondeterministic "
+        "inputs; use time.perf_counter for durations or pass timestamps in"
+    ),
+    nodes=(ast.Call,),
+)
+def check_wall_clock(
+    node: ast.Call, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    name = ctx.qualname(node.func)
+    if name in _WALL_CLOCK_CALLS:
+        yield node, (
+            f"{name}() reads the wall clock; use time.perf_counter for "
+            "durations, or make the timestamp an explicit input"
+        )
+
+
+@rule(
+    code="RPR104",
+    name="set-order-iteration",
+    severity=Severity.WARNING,
+    family="determinism",
+    description=(
+        "Iterating or materialising a set produces hash-order-dependent "
+        "sequences; wrap the set in sorted() at the boundary"
+    ),
+    nodes=(ast.For, ast.Call, ast.ListComp, ast.GeneratorExp),
+)
+def check_set_order(
+    node: ast.AST, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    if isinstance(node, ast.For):
+        if ctx.is_set_expr(node.iter):
+            yield node.iter, (
+                "for-loop over a set iterates in hash order; loop over "
+                "sorted(...) when order can reach results"
+            )
+        return
+    if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+        if isinstance(node, ast.GeneratorExp):
+            parent = ctx.parent(node)
+            if (
+                isinstance(parent, ast.Call)
+                and isinstance(parent.func, ast.Name)
+                and parent.func.id in _ORDER_FREE_CALLS
+            ):
+                return
+        for comp in node.generators:
+            if ctx.is_set_expr(comp.iter):
+                yield comp.iter, (
+                    "comprehension over a set yields hash-ordered elements; "
+                    "iterate sorted(...) instead"
+                )
+        return
+    # ast.Call: ordered materialisers fed a set.
+    func = node.func
+    if not node.args:
+        return
+    first = node.args[0]
+    target: str | None = None
+    if isinstance(func, ast.Name) and func.id in _ORDER_SENSITIVE_BUILTINS:
+        target = func.id
+    else:
+        qual = ctx.qualname(func)
+        if qual in _ORDER_SENSITIVE_NUMPY:
+            target = qual
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            target = "str.join"
+    if target is not None and ctx.is_set_expr(first):
+        yield node, (
+            f"{target}() over a set materialises hash order; use sorted(...) "
+            "to fix a canonical order"
+        )

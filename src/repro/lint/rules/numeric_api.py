@@ -1,0 +1,79 @@
+"""Numeric API discipline rules (RPR4xx).
+
+Guard rails around the autograd layer: ``Tensor.data`` writes bypass the
+graph (gradients silently stop flowing through whatever was overwritten)
+and are sanctioned only inside the optimizer/serialization layers; bare
+``assert`` statements in library code evaporate under ``python -O``, so
+invariants that matter must raise real exceptions.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Severity
+from repro.lint.registry import rule
+
+__all__ = []
+
+
+def _data_attribute(target: ast.AST) -> ast.Attribute | None:
+    """The ``<expr>.data`` attribute written by ``target``, if any.
+
+    Catches both direct writes (``p.data = x``, ``p.data -= g``) and
+    element writes through the attribute (``p.data[idx] = x``).
+    """
+    if isinstance(target, ast.Subscript):
+        target = target.value
+    if isinstance(target, ast.Attribute) and target.attr == "data":
+        return target
+    return None
+
+
+@rule(
+    code="RPR401",
+    name="tensor-data-write",
+    severity=Severity.WARNING,
+    family="numeric-api",
+    description=(
+        "Writing <tensor>.data bypasses autograd; mutation is sanctioned "
+        "only in the optimizer/serialization layers"
+    ),
+    nodes=(ast.Assign, ast.AugAssign),
+)
+def check_tensor_data_write(
+    node: ast.Assign | ast.AugAssign, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    for target in targets:
+        attr = _data_attribute(target)
+        if attr is not None:
+            yield node, (
+                "write to .data bypasses autograd (gradients stop flowing "
+                "through the overwritten values); use Tensor ops, or keep "
+                "sanctioned mutation inside the optimizer/serialization layer"
+            )
+
+
+@rule(
+    code="RPR402",
+    name="bare-assert",
+    severity=Severity.WARNING,
+    family="numeric-api",
+    description=(
+        "assert in library (non-test) code disappears under python -O; "
+        "raise an explicit exception for real invariants"
+    ),
+    nodes=(ast.Assert,),
+)
+def check_bare_assert(
+    node: ast.Assert, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    if ctx.is_test:
+        return
+    yield node, (
+        "bare assert is stripped under python -O; raise ValueError/"
+        "RuntimeError so the invariant survives optimised runs"
+    )

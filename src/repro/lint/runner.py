@@ -1,0 +1,159 @@
+"""File discovery + orchestration: parse, check, suppress, baseline.
+
+The pipeline for each file: parse → :func:`~repro.lint.visitor.lint_module`
+→ drop per-rule path excludes → split off suppressed findings → assign
+fingerprints → split against the baseline.  Unparseable files surface as
+an ``RPR001`` error finding rather than crashing the run.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.lint import rules  # noqa: F401  (registers every rule)
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding, Severity, assign_fingerprints
+from repro.lint.registry import RULES
+from repro.lint.visitor import lint_module
+
+__all__ = ["LintResult", "run_lint", "lint_source", "iter_python_files"]
+
+PARSE_ERROR_CODE = "RPR001"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run."""
+
+    fresh: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    suppressed: list[Finding] = field(default_factory=list)
+    stale_baseline: list[dict] = field(default_factory=list)
+    files_checked: int = 0
+
+    @property
+    def all_findings(self) -> list[Finding]:
+        """Every non-suppressed finding (fresh + baselined)."""
+        return sorted(self.fresh + self.baselined, key=Finding.sort_key)
+
+    @property
+    def clean(self) -> bool:
+        return not self.fresh
+
+
+def iter_python_files(paths: "list[Path]", config: LintConfig) -> "list[Path]":
+    """Python files under ``paths``, minus config excludes, sorted."""
+    files: set[Path] = set()
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.add(path)
+    return [
+        file
+        for file in sorted(files)
+        if not config.is_excluded(_relpath(file, config.root))
+    ]
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def _apply_suppressions(
+    findings: "list[Finding]", ctx: ModuleContext
+) -> "tuple[list[Finding], list[Finding]]":
+    kept: list[Finding] = []
+    suppressed: list[Finding] = []
+    for finding in findings:
+        line_codes = ctx.line_suppressions.get(finding.line, set())
+        if (
+            "all" in ctx.file_suppressions
+            or finding.code in ctx.file_suppressions
+            or "all" in line_codes
+            or finding.code in line_codes
+        ):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    return kept, suppressed
+
+
+def lint_file(
+    path: Path, config: LintConfig, enabled: "set[str]"
+) -> "tuple[list[Finding], list[Finding]]":
+    """Findings for one file as ``(kept, suppressed)``."""
+    rel = _relpath(path, config.root)
+    source = path.read_text(encoding="utf-8")
+    return lint_source(source, rel, config=config, enabled=enabled)
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    config: "LintConfig | None" = None,
+    enabled: "set[str] | None" = None,
+) -> "tuple[list[Finding], list[Finding]]":
+    """Lint a source string; returns ``(kept, suppressed)`` findings.
+
+    The unit-test entry point: fixtures feed flagged / non-flagged
+    snippets straight through without touching the filesystem.
+    """
+    config = config or LintConfig()
+    if enabled is None:
+        enabled = config.enabled_codes(sorted(RULES))
+    try:
+        ctx = ModuleContext(path, source)
+    except SyntaxError as exc:
+        finding = Finding(
+            path=path,
+            line=int(exc.lineno or 1),
+            col=int(exc.offset or 1),
+            code=PARSE_ERROR_CODE,
+            message=f"file does not parse: {exc.msg}",
+            severity=Severity.ERROR,
+            source_line=(exc.text or "").strip(),
+        )
+        return assign_fingerprints([finding]), []
+    findings = lint_module(ctx, enabled)
+    findings = [
+        f for f in findings if not config.rule_excluded(f.code, path)
+    ]
+    kept, suppressed = _apply_suppressions(findings, ctx)
+    return assign_fingerprints(kept), suppressed
+
+
+def run_lint(
+    paths: "list[Path | str]",
+    config: "LintConfig | None" = None,
+    baseline: "Baseline | None" = None,
+    enabled: "set[str] | None" = None,
+) -> LintResult:
+    """Lint ``paths`` and split the findings against ``baseline``."""
+    config = config or LintConfig()
+    if enabled is None:
+        enabled = config.enabled_codes(sorted(RULES))
+    result = LintResult()
+    all_kept: list[Finding] = []
+    for file in iter_python_files([Path(p) for p in paths], config):
+        kept, suppressed = lint_file(file, config, enabled)
+        all_kept.extend(kept)
+        result.suppressed.extend(suppressed)
+        result.files_checked += 1
+    all_kept = assign_fingerprints(all_kept)
+    if baseline is None:
+        result.fresh = sorted(all_kept, key=Finding.sort_key)
+    else:
+        fresh, baselined, stale = baseline.split(all_kept)
+        result.fresh = sorted(fresh, key=Finding.sort_key)
+        result.baselined = sorted(baselined, key=Finding.sort_key)
+        result.stale_baseline = stale
+    return result

@@ -1,0 +1,58 @@
+"""Single-pass AST walk dispatching to registered rule checkers."""
+
+from __future__ import annotations
+
+import ast
+
+from repro.lint.context import ModuleContext
+from repro.lint.findings import Finding
+from repro.lint.registry import Rule, checkers_for
+
+__all__ = ["lint_module"]
+
+
+def _location(node: ast.AST, fallback: ast.AST) -> tuple[int, int]:
+    lineno = getattr(node, "lineno", None)
+    if lineno is None:
+        lineno = getattr(fallback, "lineno", 1)
+    col = getattr(node, "col_offset", 0)
+    return int(lineno), int(col) + 1
+
+
+def lint_module(ctx: ModuleContext, enabled: set[str] | None = None) -> list[Finding]:
+    """Run every enabled checker over ``ctx`` and collect raw findings.
+
+    Suppression comments, path excludes and the baseline are applied by
+    the runner — this layer reports everything it sees so the runner can
+    also count what was suppressed.
+    """
+    findings: list[Finding] = []
+    dispatch: dict[type, list] = {}
+    for node in ast.walk(ctx.tree):
+        node_type = type(node)
+        pairs = dispatch.get(node_type)
+        if pairs is None:
+            pairs = dispatch[node_type] = checkers_for(node_type, enabled)
+        for meta, checker in pairs:
+            results = checker(node, ctx)
+            if results is None:
+                continue
+            for target, message in results:
+                findings.append(_make_finding(meta, target, node, message, ctx))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def _make_finding(
+    meta: Rule, target: ast.AST, visited: ast.AST, message: str, ctx: ModuleContext
+) -> Finding:
+    line, col = _location(target, visited)
+    return Finding(
+        path=ctx.path,
+        line=line,
+        col=col,
+        code=meta.code,
+        message=message,
+        severity=meta.severity,
+        source_line=ctx.source_line(line),
+    )

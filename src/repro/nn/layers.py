@@ -137,7 +137,11 @@ class Module:
                     f"shape mismatch for {name}: expected "
                     f"{own[name].data.shape}, got {array.shape}"
                 )
-            own[name].data = np.asarray(array, dtype=np.float64).copy()
+            # Sanctioned .data write: loading replaces parameter values
+            # wholesale, outside any live graph.
+            own[name].data = (  # repro-lint: disable=RPR401
+                np.asarray(array, dtype=np.float64).copy()
+            )
 
     def __call__(self, *args: object, **kwargs: object) -> Tensor:
         return self.forward(*args, **kwargs)

@@ -53,6 +53,8 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.utils.rng import ensure_rng
+
 SCHEMA = "repro/hotpath-bench/v3"
 SCHEMA_V1 = "repro/hotpath-bench/v1"
 SCHEMA_V2 = "repro/hotpath-bench/v2"
@@ -261,12 +263,12 @@ def _bench_kmeans(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
 
     rows = []
     for n, dim, k in KMEANS_SIZES[mode]:
-        points = np.random.default_rng(seed).normal(size=(n, dim))
+        points = ensure_rng(seed).normal(size=(n, dim))
         single_before = _best_of(
-            lambda: _single_pass_loop(points, k, np.random.default_rng(seed)), repeats
+            lambda: _single_pass_loop(points, k, ensure_rng(seed)), repeats
         )
         single_after = _best_of(
-            lambda: _single_pass(points, k, np.random.default_rng(seed)), repeats
+            lambda: _single_pass(points, k, ensure_rng(seed)), repeats
         )
         rows.append(
             {
@@ -281,10 +283,10 @@ def _bench_kmeans(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
         )
         cfg = KMeansConfig(algorithm="minibatch", max_iter=20, batch_size=256)
         mb_before = _best_of(
-            lambda: _minibatch_loop(points, k, cfg, np.random.default_rng(seed)), repeats
+            lambda: _minibatch_loop(points, k, cfg, ensure_rng(seed)), repeats
         )
         mb_after = _best_of(
-            lambda: _minibatch(points, k, cfg, np.random.default_rng(seed)), repeats
+            lambda: _minibatch(points, k, cfg, ensure_rng(seed)), repeats
         )
         rows.append(
             {
@@ -306,7 +308,7 @@ def _bench_score_topk(mode: str, seed: int, repeats: int) -> list[dict[str, Any]
 
     rows = []
     for num_users, n_cand, k, n_queries in SCORE_SIZES[mode]:
-        rng = np.random.default_rng(seed)
+        rng = ensure_rng(seed)
         scores = rng.random((num_users, n_cand))
         candidates = np.arange(n_cand, dtype=np.int64)
         query_users = rng.integers(0, num_users, size=n_queries)
@@ -377,14 +379,14 @@ def _bench_parallel(
     )
 
     n, dim, k = KMEANS_SIZES[mode][-1]
-    points = np.random.default_rng(seed).normal(size=(n, dim))
+    points = ensure_rng(seed).normal(size=(n, dim))
     cfg = KMeansConfig(algorithm="lloyd", n_init=4, max_iter=15)
     serial = _best_of(
-        lambda: kmeans(points, k, cfg, rng=np.random.default_rng(seed), workers=1),
+        lambda: kmeans(points, k, cfg, rng=ensure_rng(seed), workers=1),
         repeats,
     )
     parallel = _best_of(
-        lambda: kmeans(points, k, cfg, rng=np.random.default_rng(seed), workers=workers),
+        lambda: kmeans(points, k, cfg, rng=ensure_rng(seed), workers=workers),
         repeats,
     )
     rows.append(
@@ -402,7 +404,7 @@ def _bench_parallel(
     )
 
     num_users, n_cand, batch_users = PARALLEL_SCORE_SIZES[mode]
-    rng = np.random.default_rng(seed)
+    rng = ensure_rng(seed)
     assembler = FeatureAssembler(
         rng.normal(size=(num_users, 8)), rng.normal(size=(n_cand, 8))
     )

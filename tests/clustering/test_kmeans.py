@@ -1,5 +1,7 @@
 """K-means variants: quality, invariants, and degenerate inputs."""
 
+import importlib
+
 import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
@@ -106,6 +108,52 @@ class TestDegenerate:
         points = np.vstack([np.zeros((20, 2)), np.ones((20, 2)), [[100.0, 100.0]]])
         result = kmeans(points, 3, KMeansConfig(algorithm="lloyd"), rng=0)
         assert len(np.unique(result.labels)) == 3
+
+
+class TestRestartSelection:
+    def test_multi_restart_bitwise_deterministic(self):
+        points, _ = _blobs(k=4, seed=5)
+        a = kmeans(points, 4, KMeansConfig(n_init=5), rng=7)
+        b = kmeans(points, 4, KMeansConfig(n_init=5), rng=7)
+        assert np.array_equal(a.labels, b.labels)
+        assert np.array_equal(a.centers, b.centers)
+        assert a.inertia == b.inertia
+
+    def test_tied_inertia_keeps_first_submitted_restart(self, monkeypatch):
+        km = importlib.import_module("repro.clustering.kmeans")
+
+        points = np.zeros((6, 2)) + np.arange(6)[:, None]
+
+        def fake_restart(task, context):
+            index, _ = task
+            return km.KMeansResult(
+                centers=np.zeros((2, 2)),
+                labels=np.zeros(len(points), dtype=np.int64),
+                inertia=1.0,  # every restart ties
+                n_iter=index,  # marker: which restart won
+            )
+
+        monkeypatch.setattr(km, "_restart_task", fake_restart)
+        result = km.kmeans(points, 2, KMeansConfig(n_init=4), rng=0, workers=1)
+        assert result.n_iter == 0  # submission order breaks the tie
+
+    def test_strictly_better_restart_wins(self, monkeypatch):
+        km = importlib.import_module("repro.clustering.kmeans")
+
+        points = np.zeros((6, 2)) + np.arange(6)[:, None]
+
+        def fake_restart(task, context):
+            index, _ = task
+            return km.KMeansResult(
+                centers=np.zeros((2, 2)),
+                labels=np.zeros(len(points), dtype=np.int64),
+                inertia=float(10 - index),
+                n_iter=index,
+            )
+
+        monkeypatch.setattr(km, "_restart_task", fake_restart)
+        result = km.kmeans(points, 2, KMeansConfig(n_init=4), rng=0, workers=1)
+        assert result.n_iter == 3  # lowest inertia, regardless of order
 
 
 class TestSeeding:

@@ -56,6 +56,28 @@ class TestInteractionLog:
         assert len(log.filter_days({1})) == 2
         assert len(log.filter_items(np.array([5]))) == 2
 
+    def test_filter_days_set_order_insensitive(self):
+        # filter_days sorts its day set before np.isin, so set/list/reversed
+        # inputs must select bitwise-identical rows (determinism guard).
+        rng = np.random.default_rng(0)
+        n = 200
+        log = InteractionLog(
+            users=rng.integers(0, 20, size=n),
+            items=rng.integers(0, 30, size=n),
+            days=rng.integers(0, 10, size=n),
+            clicks=rng.integers(1, 5, size=n),
+            purchases=rng.integers(0, 2, size=n),
+        )
+        wanted = [7, 1, 4]
+        as_set = log.filter_days(set(wanted))
+        as_list = log.filter_days(wanted)
+        as_reversed = log.filter_days(list(reversed(wanted)))
+        for other in (as_list, as_reversed):
+            assert np.array_equal(as_set.users, other.users)
+            assert np.array_equal(as_set.items, other.items)
+            assert np.array_equal(as_set.days, other.days)
+        assert set(np.unique(as_set.days)) <= set(wanted)
+
     def test_column_validation(self):
         with pytest.raises(ValueError):
             InteractionLog(

@@ -1,0 +1,30 @@
+"""Helpers for fixture-driven rule tests."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.lint import lint_source
+
+
+@pytest.fixture
+def lint_codes():
+    """Lint a dedented snippet; return the non-suppressed finding codes."""
+
+    def run(source: str, path: str = "src/pkg/mod.py") -> list[str]:
+        kept, _ = lint_source(textwrap.dedent(source), path)
+        return [finding.code for finding in kept]
+
+    return run
+
+
+@pytest.fixture
+def lint_full():
+    """Lint a dedented snippet; return ``(kept, suppressed)`` findings."""
+
+    def run(source: str, path: str = "src/pkg/mod.py"):
+        return lint_source(textwrap.dedent(source), path)
+
+    return run

@@ -1,0 +1,122 @@
+"""Baseline fingerprints: drift stability, round-trips, staleness."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import Baseline, lint_source
+from repro.lint.baseline import BASELINE_VERSION
+
+
+def _findings(source: str, path: str = "src/pkg/mod.py"):
+    kept, _ = lint_source(textwrap.dedent(source), path)
+    return kept
+
+
+SNIPPET = """
+def merge(a, b):
+    assert a.shape == b.shape
+    return a + b
+"""
+
+DRIFTED = """
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def merge(a, b):
+    assert a.shape == b.shape
+    return a + b
+"""
+
+
+class TestFingerprints:
+    def test_stable_under_line_drift(self):
+        before = _findings(SNIPPET)
+        after = _findings(DRIFTED)
+        assert [f.code for f in before] == ["RPR402"]
+        assert [f.code for f in after] == ["RPR402"]
+        assert before[0].line != after[0].line
+        assert before[0].fingerprint == after[0].fingerprint
+
+    def test_changes_when_offending_line_edited(self):
+        before = _findings(SNIPPET)
+        after = _findings(SNIPPET.replace("a.shape == b.shape", "a.ndim == b.ndim"))
+        assert before[0].fingerprint != after[0].fingerprint
+
+    def test_duplicate_lines_get_distinct_fingerprints(self):
+        findings = _findings(
+            """
+            def check(a, b):
+                assert a
+                assert a
+            """
+        )
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+
+class TestRoundTrip:
+    def test_write_then_load_masks_findings(self, tmp_path):
+        findings = _findings(SNIPPET)
+        baseline = Baseline.from_findings(findings)
+        target = baseline.write(tmp_path / "baseline.json")
+
+        loaded = Baseline.load(target)
+        fresh, baselined, stale = loaded.split(_findings(DRIFTED))
+        assert fresh == []
+        assert [f.code for f in baselined] == ["RPR402"]
+        assert stale == []
+
+    def test_new_finding_stays_fresh(self, tmp_path):
+        baseline = Baseline.from_findings(_findings(SNIPPET))
+        target = baseline.write(tmp_path / "baseline.json")
+
+        grown = SNIPPET + "\n\ndef check(c):\n    assert c\n"
+        fresh, baselined, _ = Baseline.load(target).split(_findings(grown))
+        assert [f.code for f in baselined] == ["RPR402"]
+        assert [f.code for f in fresh] == ["RPR402"]
+        assert "assert c" in fresh[0].source_line
+
+    def test_fixed_finding_reported_stale(self, tmp_path):
+        baseline = Baseline.from_findings(_findings(SNIPPET))
+        target = baseline.write(tmp_path / "baseline.json")
+
+        clean = "def merge(a, b):\n    return a + b\n"
+        fresh, baselined, stale = Baseline.load(target).split(_findings(clean))
+        assert fresh == baselined == []
+        assert [entry["code"] for entry in stale] == ["RPR402"]
+
+    def test_edited_line_comes_back_fresh(self, tmp_path):
+        baseline = Baseline.from_findings(_findings(SNIPPET))
+        target = baseline.write(tmp_path / "baseline.json")
+
+        edited = SNIPPET.replace("a.shape == b.shape", "a.ndim == b.ndim")
+        fresh, baselined, stale = Baseline.load(target).split(_findings(edited))
+        assert baselined == []
+        assert [f.code for f in fresh] == ["RPR402"]
+        assert len(stale) == 1
+
+
+class TestLoading:
+    def test_missing_file_is_empty_baseline(self, tmp_path):
+        baseline = Baseline.load(tmp_path / "absent.json")
+        assert baseline.entries == {}
+
+    def test_version_mismatch_raises(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(
+            json.dumps({"version": BASELINE_VERSION + 1, "entries": []})
+        )
+        with pytest.raises(ValueError, match="version"):
+            Baseline.load(target)
+
+    def test_entries_serialized_in_location_order(self, tmp_path):
+        findings = _findings(SNIPPET) + _findings(SNIPPET, path="src/pkg/aaa.py")
+        payload = Baseline.from_findings(findings).to_json()
+        paths = [entry["path"] for entry in payload["entries"]]
+        assert paths == sorted(paths)

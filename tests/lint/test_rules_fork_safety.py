@@ -1,0 +1,145 @@
+"""Fixture tests for the fork-safety family (RPR2xx)."""
+
+from __future__ import annotations
+
+
+class TestUnpicklableTask:
+    def test_flags_lambda_to_pool_map(self, lint_codes):
+        codes = lint_codes(
+            """
+            def run(pool, chunks):
+                return pool.map(lambda task, ctx: task + 1, chunks)
+            """
+        )
+        assert codes == ["RPR201"]
+
+    def test_flags_lambda_to_map_async(self, lint_codes):
+        codes = lint_codes(
+            """
+            def run(pool, chunks):
+                return pool.map_async(lambda t: t, chunks).get()
+            """
+        )
+        assert codes == ["RPR201"]
+
+    def test_flags_nested_function_by_name(self, lint_codes):
+        codes = lint_codes(
+            """
+            def run(pool, chunks, bias):
+                def task(chunk, ctx):
+                    return chunk + bias
+                return pool.map(task, chunks)
+            """
+        )
+        assert codes == ["RPR201"]
+
+    def test_module_level_task_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def _chunk_task(task, ctx):
+                return task + 1
+
+            def run(pool, chunks):
+                return pool.map(_chunk_task, chunks)
+            """
+        )
+        assert codes == []
+
+    def test_builtin_map_with_lambda_not_flagged(self, lint_codes):
+        # Only pool-style .map methods are in scope; builtin map is fine.
+        assert lint_codes("doubled = map(lambda x: x * 2, [1, 2])\n") == []
+
+
+class TestTaskMutatesGlobal:
+    def test_flags_global_statement_in_task(self, lint_codes):
+        codes = lint_codes(
+            """
+            _TOTAL = 0
+
+            def _sum_task(task, ctx):
+                global _TOTAL
+                _TOTAL = _TOTAL + task
+                return task
+
+            def run(pool, chunks):
+                return pool.map(_sum_task, chunks)
+            """
+        )
+        assert codes == ["RPR202"]
+
+    def test_flags_module_dict_write_in_task(self, lint_codes):
+        codes = lint_codes(
+            """
+            _CACHE = {}
+
+            def _cache_task(task, ctx):
+                _CACHE[task] = ctx
+                return task
+
+            def run(pool, chunks):
+                return pool.map(_cache_task, chunks)
+            """
+        )
+        assert codes == ["RPR202"]
+
+    def test_local_mutation_in_task_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def _local_task(task, ctx):
+                cache = {}
+                cache[task] = ctx
+                return cache
+
+            def run(pool, chunks):
+                return pool.map(_local_task, chunks)
+            """
+        )
+        assert codes == []
+
+    def test_non_task_function_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            _CACHE = {}
+
+            def remember(key, value):
+                _CACHE[key] = value
+            """
+        )
+        assert codes == []
+
+
+class TestSharedMatrixLifecycle:
+    def test_flags_bare_from_array(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.parallel.shared import SharedMatrix
+
+            def share(points):
+                handle = SharedMatrix.from_array(points)
+                return handle
+            """
+        )
+        assert codes == ["RPR203"]
+
+    def test_with_block_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.parallel.shared import shared_arrays
+
+            def share(pool, points):
+                with shared_arrays(pool, points) as (handle,):
+                    return handle.shape
+            """
+        )
+        assert codes == []
+
+    def test_unrelated_from_array_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            import pandas as pd
+
+            def frame(records):
+                return pd.DataFrame.from_records(records)
+            """
+        )
+        assert codes == []

@@ -1,0 +1,88 @@
+"""Fixture tests for the numeric-API family (RPR4xx)."""
+
+from __future__ import annotations
+
+
+class TestTensorDataWrite:
+    def test_flags_plain_assignment(self, lint_codes):
+        codes = lint_codes(
+            """
+            def clobber(param, values):
+                param.data = values
+            """
+        )
+        assert codes == ["RPR401"]
+
+    def test_flags_augmented_assignment(self, lint_codes):
+        codes = lint_codes(
+            """
+            def step(param, grad, lr):
+                param.data -= lr * grad
+            """
+        )
+        assert codes == ["RPR401"]
+
+    def test_flags_element_write_through_data(self, lint_codes):
+        codes = lint_codes(
+            """
+            def mask(param, idx):
+                param.data[idx] = 0.0
+            """
+        )
+        assert codes == ["RPR401"]
+
+    def test_reading_data_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def norm(param):
+                values = param.data
+                return (values * values).sum()
+            """
+        )
+        assert codes == []
+
+    def test_other_attribute_writes_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def rename(node, label):
+                node.name = label
+            """
+        )
+        assert codes == []
+
+
+class TestBareAssert:
+    def test_flags_assert_in_library_code(self, lint_codes):
+        codes = lint_codes(
+            """
+            def merge(a, b):
+                assert a.shape == b.shape, "shape mismatch"
+                return a + b
+            """
+        )
+        assert codes == ["RPR402"]
+
+    def test_test_file_exempt(self, lint_codes):
+        source = """
+        def test_merge():
+            assert 1 + 1 == 2
+        """
+        assert lint_codes(source, path="tests/nn/test_merge.py") == []
+
+    def test_conftest_exempt(self, lint_codes):
+        source = """
+        def helper(x):
+            assert x
+        """
+        assert lint_codes(source, path="tests/conftest.py") == []
+
+    def test_raise_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def merge(a, b):
+                if a.shape != b.shape:
+                    raise ValueError("shape mismatch")
+                return a + b
+            """
+        )
+        assert codes == []

@@ -1,0 +1,162 @@
+"""Fixture tests for the obs-hygiene family (RPR3xx)."""
+
+from __future__ import annotations
+
+
+class TestSpanNotWith:
+    def test_flags_span_assigned_to_variable(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.obs import span
+
+            def run():
+                sp = span("train.step")
+                sp.close()
+            """
+        )
+        assert codes == ["RPR301"]
+
+    def test_flags_qualified_span_call(self, lint_codes):
+        codes = lint_codes(
+            """
+            import repro.obs
+
+            def run():
+                sp = repro.obs.span("train.step")
+                return sp
+            """
+        )
+        assert codes == ["RPR301"]
+
+    def test_with_span_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.obs import span
+
+            def run():
+                with span("train.step", epoch=1) as sp:
+                    sp.add_event("tick")
+            """
+        )
+        assert codes == []
+
+    def test_unrelated_span_attribute_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def width(node):
+                return node.span("x")
+            """
+        )
+        assert codes == []
+
+
+class TestEagerLogFormatting:
+    def test_flags_fstring_message(self, lint_codes):
+        codes = lint_codes(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def report(loss):
+                logger.info(f"loss={loss}")
+            """
+        )
+        assert codes == ["RPR302"]
+
+    def test_flags_percent_formatting(self, lint_codes):
+        codes = lint_codes(
+            """
+            import logging
+
+            log = logging.getLogger(__name__)
+
+            def report(loss):
+                log.warning("loss=%.4f" % loss)
+            """
+        )
+        assert codes == ["RPR302"]
+
+    def test_flags_str_format_call(self, lint_codes):
+        codes = lint_codes(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def report(loss):
+                logger.debug("loss={}".format(loss))
+            """
+        )
+        assert codes == ["RPR302"]
+
+    def test_flags_concatenated_message(self, lint_codes):
+        codes = lint_codes(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def report(name):
+                logger.error("failed: " + name)
+            """
+        )
+        assert codes == ["RPR302"]
+
+    def test_lazy_formatting_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            import logging
+
+            logger = logging.getLogger(__name__)
+
+            def report(loss, epoch):
+                logger.info("epoch %d loss=%.4f", epoch, loss)
+            """
+        )
+        assert codes == []
+
+    def test_non_logger_receiver_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def report(console, loss):
+                console.info(f"loss={loss}")
+            """
+        )
+        assert codes == []
+
+
+class TestAdHocRegistry:
+    def test_flags_bare_constructor(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.obs import MetricsRegistry
+
+            def make():
+                return MetricsRegistry()
+            """
+        )
+        assert codes == ["RPR303"]
+
+    def test_flags_qualified_constructor(self, lint_codes):
+        codes = lint_codes(
+            """
+            import repro.obs.metrics
+
+            def make():
+                return repro.obs.metrics.MetricsRegistry()
+            """
+        )
+        assert codes == ["RPR303"]
+
+    def test_helper_functions_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.obs import counter_add, gauge_set
+
+            def record(n):
+                counter_add("train.steps", n)
+                gauge_set("train.loss", 0.5)
+            """
+        )
+        assert codes == []

@@ -1,0 +1,107 @@
+"""Suppression-comment semantics: same-line, file-wide, and `all`."""
+
+from __future__ import annotations
+
+
+class TestLineSuppression:
+    def test_same_line_disable_suppresses(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            def merge(a, b):
+                assert a  # repro-lint: disable=RPR402
+                return a + b
+            """
+        )
+        assert [f.code for f in kept] == []
+        assert [f.code for f in suppressed] == ["RPR402"]
+
+    def test_disable_is_line_scoped(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            def merge(a, b):
+                assert a  # repro-lint: disable=RPR402
+                assert b
+                return a + b
+            """
+        )
+        assert [f.code for f in kept] == ["RPR402"]
+        assert [f.code for f in suppressed] == ["RPR402"]
+
+    def test_disable_other_code_does_not_suppress(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            def merge(a, b):
+                assert a  # repro-lint: disable=RPR101
+                return a + b
+            """
+        )
+        assert [f.code for f in kept] == ["RPR402"]
+        assert suppressed == []
+
+    def test_multiple_codes_on_one_line(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            import time
+
+            def stamp(p):
+                p.data = time.time()  # repro-lint: disable=RPR103, RPR401
+            """
+        )
+        assert kept == []
+        assert sorted(f.code for f in suppressed) == ["RPR103", "RPR401"]
+
+    def test_disable_all_on_line(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            import time
+
+            def stamp(p):
+                p.data = time.time()  # repro-lint: disable=all
+            """
+        )
+        assert kept == []
+        assert sorted(f.code for f in suppressed) == ["RPR103", "RPR401"]
+
+
+class TestFileSuppression:
+    def test_disable_file_covers_every_line(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            # repro-lint: disable-file=RPR402
+
+            def merge(a, b):
+                assert a
+                assert b
+                return a + b
+            """
+        )
+        assert kept == []
+        assert [f.code for f in suppressed] == ["RPR402", "RPR402"]
+
+    def test_disable_file_only_names_its_code(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            # repro-lint: disable-file=RPR402
+            import time
+
+            def stamp(a):
+                assert a
+                return time.time()
+            """
+        )
+        assert [f.code for f in kept] == ["RPR103"]
+        assert [f.code for f in suppressed] == ["RPR402"]
+
+    def test_disable_file_all(self, lint_full):
+        kept, suppressed = lint_full(
+            """
+            # repro-lint: disable-file=all
+            import time
+
+            def stamp(a):
+                assert a
+                return time.time()
+            """
+        )
+        assert kept == []
+        assert sorted(f.code for f in suppressed) == ["RPR103", "RPR402"]

@@ -41,6 +41,21 @@ class TestHiGNNTrace:
             child_names = {c.name for c in sp.children}
             assert {"hignn.train", "hignn.cluster", "hignn.coarsen"} <= child_names
 
+    def test_level_spans_closed_and_contain_children(self, hignn_session):
+        # hignn.level is opened via `with span(...)`: every level span must
+        # be finished and its interval must cover its children's intervals
+        # (a span parked in a variable pre-`with` would start too early).
+        session, _ = hignn_session
+        levels = [
+            sp for sp, _ in session.tracer.all_spans() if sp.name == "hignn.level"
+        ]
+        assert levels
+        for sp in levels:
+            assert sp.end_s is not None
+            for child in sp.children:
+                assert child.start_s >= sp.start_s
+                assert child.end_s is not None and child.end_s <= sp.end_s
+
     def test_epoch_spans_carry_loss_and_throughput(self, hignn_session):
         session, _ = hignn_session
         epochs = [

@@ -37,6 +37,17 @@ class TestRng:
         b = derive_rng(parent, 2)
         assert a.random() != b.random()
 
+    def test_ensure_matches_default_rng_stream(self):
+        # bench.py swapped np.random.default_rng(seed) for ensure_rng(seed);
+        # the streams must stay bitwise identical or every recorded baseline
+        # workload changes under the refactor.
+        ours = ensure_rng(123)
+        theirs = np.random.default_rng(123)
+        assert np.array_equal(ours.normal(size=64), theirs.normal(size=64))
+        assert np.array_equal(
+            ours.integers(0, 1000, size=64), theirs.integers(0, 1000, size=64)
+        )
+
     def test_mixin(self):
         class Thing(RngMixin):
             pass
