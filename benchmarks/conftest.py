@@ -33,6 +33,26 @@ def report(capsys):
     return _report
 
 
+@pytest.fixture(autouse=True)
+def _sweep_stray_shard_dirs():
+    """Remove shard stores a failed bench left registered but undeleted.
+
+    Shard directories live on disk (often many GB at bench scale), so a
+    bench that dies between build and destroy must not leak them into
+    the workspace; owners deregister on destroy, making the registry
+    diff exactly the stray set.
+    """
+    import shutil
+
+    from repro.shard import active_shard_dirs, forget_shard_dir
+
+    before = active_shard_dirs()
+    yield
+    for stray in sorted(active_shard_dirs() - before):
+        shutil.rmtree(stray, ignore_errors=True)
+        forget_shard_dir(stray)
+
+
 @pytest.fixture(scope="session")
 def small_ds1():
     """The Taobao #1 analogue at bench scale."""

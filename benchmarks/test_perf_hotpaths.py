@@ -44,6 +44,7 @@ def test_hotpath_bench_writes_tracked_report(report):
         "kmeans",
         "parallel",
         "score_topk",
+        "shard",
     }
     for rows in benches.values():
         assert rows

@@ -83,6 +83,37 @@ def _np_aggregate(stacked: np.ndarray, valid: np.ndarray, agg: str) -> np.ndarra
     raise ValueError(f"unknown aggregator {agg!r}")
 
 
+def _sharded_shard_task(task: tuple, context: tuple) -> int:
+    """Run one shard's chunk list of a sharded layer-wise pass.
+
+    ``task`` is ``(shard_id, chunks)`` with every chunk pre-sampled in
+    the parent; ``context`` names the previous-step matrices and the
+    output buffer as ``(path, shape)`` memmap specs plus the step's
+    weights.  Each chunk writes a disjoint row range of the output, so
+    results are independent of which worker runs what — and each chunk
+    is computed by the exact dense-path kernel, so the bytes written are
+    identical to the in-memory result.
+    """
+    from repro.obs.metrics import counter_add as _counter_add
+    from repro.shard.storage import open_block
+
+    shard_id, chunks = task
+    own_spec, other_spec, out_spec, params = context
+    own_prev = open_block(own_spec[0], np.float64, own_spec[1], mode="r")
+    other_prev = open_block(other_spec[0], np.float64, other_spec[1], mode="r")
+    out = open_block(out_spec[0], np.float64, out_spec[1], mode="r+")
+    read = written = 0
+    for start, stop, neigh in chunks:
+        out[start:stop] = _layerwise_chunk((start, stop, neigh), (own_prev, other_prev, params))
+        read += ((stop - start) * own_prev.shape[1] + neigh.size * other_prev.shape[1]) * 8
+        written += (stop - start) * out.shape[1] * 8
+    if isinstance(out, np.memmap):
+        out.flush()
+    _counter_add("shard.mmap_bytes_read", read)
+    _counter_add("shard.mmap_bytes_written", written)
+    return shard_id
+
+
 def _layerwise_chunk(task: tuple, context: tuple) -> np.ndarray:
     """Embed one pre-sampled vertex chunk at one step (Eqs. 1–4).
 
@@ -167,6 +198,7 @@ class BipartiteGraphSAGE(Module):
         # One NeighborSampler per graph, built lazily on first use —
         # the recursion previously rebuilt a sampler at every step.
         self._sampler_cache: tuple[BipartiteGraph, NeighborSampler] | None = None
+        self._shard_sampler_cache: tuple | None = None
         # Frontier deduplication toggle; the benchmark harness flips it
         # off to time the naive recursion.
         self.dedup_frontier = True
@@ -206,6 +238,19 @@ class BipartiteGraphSAGE(Module):
         """
         if mode not in {"layerwise", "recursive"}:
             raise ValueError(f"unknown embed_all mode {mode!r}")
+        if not isinstance(graph, BipartiteGraph):
+            # A ShardedCSR store (duck-checked lazily so repro.core does
+            # not import repro.shard unless sharding is actually used).
+            from repro.shard.storage import ShardedCSR
+
+            if isinstance(graph, ShardedCSR):
+                if mode != "layerwise":
+                    raise ValueError(
+                        "sharded stores only support layerwise embed_all"
+                    )
+                return self.embed_all_sharded(
+                    graph, batch_size=batch_size, workers=workers
+                )
         self.eval()
         with span(
             "sage.embed_all",
@@ -230,6 +275,38 @@ class BipartiteGraphSAGE(Module):
                         for s in range(0, graph.num_items, batch_size)
                     ]
                 )
+        self.train()
+        return users, items
+
+    def embed_all_sharded(
+        self,
+        store,
+        batch_size: int = 2048,
+        workers: int | None = None,
+        work_dir=None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Layer-wise inference over a ``ShardedCSR`` store, out-of-core.
+
+        Step matrices live in memory-mapped files (double-buffered under
+        ``work_dir``, default ``<store>/embed``); each pass samples every
+        chunk in the parent in the dense path's global order (the
+        fixed-order cross-shard frontier exchange), then fans the chunks
+        out one :mod:`repro.parallel` task per shard.  Workers read the
+        previous-step mmaps and write disjoint row ranges, so the result
+        is bitwise identical to ``embed_all`` on the equivalent dense
+        graph at any worker count.  Returns read-only memmaps
+        ``(Z_u, Z_i)``.
+        """
+        self.eval()
+        with span(
+            "sage.embed_all",
+            mode="sharded",
+            num_users=store.num_users,
+            num_items=store.num_items,
+        ), no_grad():
+            users, items = self._embed_all_sharded(
+                store, batch_size, get_pool(workers), work_dir
+            )
         self.train()
         return users, items
 
@@ -440,6 +517,155 @@ class BipartiteGraphSAGE(Module):
         for (start, stop, _), block in zip(tasks, rows):
             out[start:stop] = block
         return out
+
+    # ------------------------------------------------------------------
+    # Sharded layer-wise inference (out-of-core)
+    # ------------------------------------------------------------------
+    def _shard_sampler(self, store):
+        """Cached per-store sampler over shard blocks (mirrors _sampler)."""
+        from repro.shard.sampler import ShardedNeighborSampler
+
+        cached = self._shard_sampler_cache
+        if cached is None or cached[0] is not store or cached[1].rng is not self._sample_rng:
+            self._shard_sampler_cache = (
+                store,
+                ShardedNeighborSampler(store, rng=self._sample_rng),
+            )
+            cached = self._shard_sampler_cache
+        return cached[1]
+
+    def _store_feature_spec(self, store, side: str) -> tuple[str, tuple[int, int]]:
+        """(path, shape) of the store's step-0 matrix, validated."""
+        dim = store.feature_dim(side)
+        if dim is None:
+            raise ValueError(f"graph is missing {side} features")
+        expected = self.user_dim if side == "user" else self.item_dim
+        if dim != expected:
+            raise ValueError(
+                f"{side} features have dim {dim}, module expects {expected}"
+            )
+        return str(store.feature_path(side)), (store.num(side), dim)
+
+    def _embed_all_sharded(
+        self, store, batch_size: int, pool, work_dir=None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One mmap-to-mmap pass per step; see :meth:`embed_all_sharded`."""
+        from pathlib import Path
+
+        from repro.shard.storage import allocate_block, open_block
+
+        cfg = self.config
+        work = Path(work_dir) if work_dir is not None else store.path / "embed"
+        work.mkdir(parents=True, exist_ok=True)
+        sampler = self._shard_sampler(store)
+        current = {
+            side: self._store_feature_spec(store, side) for side in ("user", "item")
+        }
+        for step in range(1, cfg.num_steps + 1):
+            fanout = cfg.neighbor_samples[cfg.num_steps - step]
+            new: dict[str, tuple[str, tuple[int, int]]] = {}
+            for side in ("user", "item"):
+                other = "item" if side == "user" else "user"
+                # Double-buffered by step parity: the file this step
+                # overwrites held step-2's matrix, which nothing reads
+                # any more.
+                out_path = work / f"h_{side}_{step % 2}.bin"
+                out_shape = (store.num(side), cfg.embedding_dim)
+                allocate_block(out_path, np.float64, out_shape)
+                self._sharded_pass(
+                    store,
+                    sampler,
+                    current[side],
+                    current[other],
+                    (str(out_path), out_shape),
+                    step,
+                    side,
+                    fanout,
+                    batch_size,
+                    pool,
+                )
+                new[side] = (str(out_path), out_shape)
+            current = new
+        return (
+            open_block(current["user"][0], np.float64, current["user"][1], mode="r"),
+            open_block(current["item"][0], np.float64, current["item"][1], mode="r"),
+        )
+
+    def _sharded_pass(
+        self,
+        store,
+        sampler,
+        own_spec: tuple[str, tuple[int, int]],
+        other_spec: tuple[str, tuple[int, int]],
+        out_spec: tuple[str, tuple[int, int]],
+        step: int,
+        side: str,
+        fanout: int,
+        batch_size: int,
+        pool,
+    ) -> None:
+        """Step-``step`` matrices for ``side``, streamed through mmaps.
+
+        Sampling happens here in the parent, chunk by chunk in the same
+        global order as the dense :meth:`_layerwise_pass` — that is the
+        fixed-order frontier exchange: the RNG stream, and therefore
+        every sampled id, matches the dense path regardless of shard
+        count or worker count.  Chunks are then grouped into one map
+        task per shard (a chunk belongs to the shard owning most of its
+        rows) so each worker streams one shard's blocks.
+        """
+        n = store.num(side)
+        transform, weight = self._step_modules(step, side)
+        counter_add("sage.vertices_embedded", n)
+        own_shard = store.shard_of(side)
+        other = "item" if side == "user" else "user"
+        other_shard = store.shard_of(other)
+        chunks_per_shard: list[list[tuple[int, int, np.ndarray]]] = [
+            [] for s in range(store.num_shards)
+        ]
+        with span(
+            "shard.frontier_exchange", side=side, step=step, fanout=fanout
+        ):
+            for start in range(0, n, batch_size):
+                stop = min(start + batch_size, n)
+                observe("sage.frontier_size", stop - start)
+                chunk = np.arange(start, stop)
+                if side == "user":
+                    neigh = sampler.sample_items_for_users(chunk, fanout)
+                else:
+                    neigh = sampler.sample_users_for_items(chunk, fanout)
+                valid = neigh >= 0
+                cross = valid & (
+                    other_shard[np.where(valid, neigh, 0)]
+                    != own_shard[start:stop, None]
+                )
+                counter_add("shard.frontier_rows", int(valid.sum()))
+                counter_add("shard.frontier_cross_rows", int(cross.sum()))
+                home = int(
+                    np.bincount(
+                        own_shard[start:stop], minlength=store.num_shards
+                    ).argmax()
+                )
+                chunks_per_shard[home].append((start, stop, neigh))
+        params = {
+            "m_w": transform.weight.data,
+            "m_b": transform.bias.data if transform.bias is not None else None,
+            "w_w": weight.weight.data,
+            "w_b": weight.bias.data if weight.bias is not None else None,
+            "activation": self.config.activation,
+            "aggregator": self.config.aggregator,
+        }
+        tasks = [
+            (shard, chunks)
+            for shard, chunks in enumerate(chunks_per_shard)
+            if chunks
+        ]
+        pool.map(
+            _sharded_shard_task,
+            tasks,
+            context=(own_spec, other_spec, out_spec, params),
+            label="sage.sharded_shard",
+        )
 
     def _aggregate(self, stacked: Tensor, valid: np.ndarray) -> Tensor:
         """AGGREGATE over the fan-out axis with a validity mask.

@@ -7,7 +7,13 @@ from repro.data.schema import (
     dataset_statistics,
 )
 from repro.data.topics import TopicTree
-from repro.data.synthetic import GroundTruth, TaobaoGenerator, WorldConfig
+from repro.data.synthetic import (
+    GroundTruth,
+    StreamedWorldConfig,
+    TaobaoGenerator,
+    WorldConfig,
+    stream_world_to_shards,
+)
 from repro.data.synthetic_text import (
     QueryItemDataset,
     QueryItemGenerator,
@@ -32,6 +38,8 @@ __all__ = [
     "GroundTruth",
     "TaobaoGenerator",
     "WorldConfig",
+    "StreamedWorldConfig",
+    "stream_world_to_shards",
     "QueryItemDataset",
     "QueryItemGenerator",
     "QueryWorldConfig",

@@ -232,6 +232,49 @@ class BipartiteGraph:
             self.item_features,
         )
 
+    # ------------------------------------------------------------------
+    # Sharded storage interop
+    # ------------------------------------------------------------------
+    def to_sharded(
+        self,
+        path,
+        num_shards: int = 4,
+        hierarchy=None,
+        user_shard: np.ndarray | None = None,
+        item_shard: np.ndarray | None = None,
+    ):
+        """Write this graph into a :class:`~repro.shard.storage.ShardedCSR`.
+
+        Returns the owner store handle.  Partitioning follows
+        ``ShardedCSR.from_graph``: explicit shard arrays, else a fitted
+        HiGNN hierarchy's level-1 clusters, else degree balancing.  Per
+        row neighbour order is preserved exactly, so samplers over the
+        store replay this graph's draw streams bit for bit.
+        """
+        from repro.shard.storage import ShardedCSR
+
+        return ShardedCSR.from_graph(
+            self,
+            path,
+            num_shards=num_shards,
+            hierarchy=hierarchy,
+            user_shard=user_shard,
+            item_shard=item_shard,
+        )
+
+    @staticmethod
+    def from_sharded(path) -> "BipartiteGraph":
+        """Load a shard directory back into an in-memory graph.
+
+        Edges come back in canonical user-major order with per-user
+        neighbour order preserved; intended for graphs that fit in RAM
+        (round-trip tests, small-scale verification).
+        """
+        from repro.shard.storage import ShardedCSR
+
+        with ShardedCSR.open(path) as store:
+            return store.to_graph()
+
     def adjacency_matrix(self) -> np.ndarray:
         """Dense (num_users, num_items) weight matrix — small graphs only."""
         if self.num_users * self.num_items > 50_000_000:

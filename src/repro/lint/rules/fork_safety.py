@@ -122,3 +122,34 @@ def check_shared_matrix_lifecycle(
         f"{name}() outside a with-block leaks the segment on error paths; "
         "use shared_arrays(pool, ...) or guarantee destroy() in a finally"
     )
+
+
+_MEMMAP_CTORS = {"numpy.memmap", "numpy.lib.format.open_memmap"}
+
+
+@rule(
+    code="RPR205",
+    name="unowned-memmap",
+    severity=Severity.WARNING,
+    family="fork-safety",
+    description=(
+        "np.memmap opened outside an owning context keeps the mapping "
+        "(and its file handle) alive until GC; go through the shard "
+        "storage helpers or a with-block"
+    ),
+    nodes=(ast.Call,),
+)
+def check_unowned_memmap(
+    node: ast.Call, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    name = ctx.qualname(node.func)
+    if name not in _MEMMAP_CTORS:
+        return
+    if ctx.in_with_item(node):
+        return
+    yield node, (
+        f"{name}() outside an owning context; forked workers inherit the "
+        "mapping and the file cannot be reclaimed deterministically — use "
+        "repro.shard.storage.open_block() or wrap the mapping's lifetime "
+        "in a with-block"
+    )

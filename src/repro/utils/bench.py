@@ -38,7 +38,16 @@ Schema v3 adds two sections plus a ``cpu_count`` stamp:
 * ``score_topk`` — eager full-table ``argsort`` ranking vs the lazy
   per-user ``argpartition`` top-k of :class:`ScoreTableRecommender`.
 
-:func:`load_report` still reads v1 and v2 files.
+Schema v4 adds the ``shard`` section and two honesty columns on the
+``parallel`` rows (``workers_effective``, ``degraded``) so a speedup of
+≤ 1 on a single-core box is machine-attributable.  The ``shard`` rows
+compare dense in-memory layer-wise inference against the out-of-core
+sharded path over :class:`~repro.shard.storage.ShardedCSR` blocks: an
+in-process smoke world in every mode, plus (``full`` mode only) a
+streamed million-vertex world measured in subprocess children so each
+side's peak RSS is isolated.
+
+:func:`load_report` still reads v1–v3 files.
 """
 
 from __future__ import annotations
@@ -55,9 +64,10 @@ import numpy as np
 
 from repro.utils.rng import ensure_rng
 
-SCHEMA = "repro/hotpath-bench/v3"
+SCHEMA = "repro/hotpath-bench/v4"
 SCHEMA_V1 = "repro/hotpath-bench/v1"
 SCHEMA_V2 = "repro/hotpath-bench/v2"
+SCHEMA_V3 = "repro/hotpath-bench/v3"
 DEFAULT_REPORT = "BENCH_hotpaths.json"
 
 # (num_users, num_items, num_edges) per benchmarked graph.
@@ -80,6 +90,24 @@ PARALLEL_SCORE_SIZES: dict[str, tuple[int, int, int]] = {
     "quick": (256, 48, 32),
     "full": (1024, 96, 64),
 }
+# Streamed-world specs per ``shard`` row; ``subprocess`` rows measure
+# peak RSS in isolated children (and are the expensive part of ``full``).
+SHARD_SIZES: dict[str, list[dict[str, Any]]] = {
+    "quick": [
+        {"users": 4000, "items": 2500, "clusters": 24, "shards": 4, "degree": 6.0}
+    ],
+    "full": [
+        {"users": 4000, "items": 2500, "clusters": 24, "shards": 4, "degree": 6.0},
+        {
+            "users": 600_000,
+            "items": 400_000,
+            "clusters": 256,
+            "shards": 8,
+            "degree": 8.0,
+            "subprocess": True,
+        },
+    ],
+}
 
 __all__ = [
     "bench_hotpaths",
@@ -90,7 +118,9 @@ __all__ = [
     "SCHEMA",
     "SCHEMA_V1",
     "SCHEMA_V2",
+    "SCHEMA_V3",
     "DEFAULT_REPORT",
+    "dense_footprint_mb",
 ]
 
 
@@ -356,6 +386,9 @@ def _bench_parallel(
     from repro.serving.pipeline import cvr_score_table
     from repro.utils.config import KMeansConfig
 
+    cpu_count = os.cpu_count() or 1
+    workers_effective = min(workers, cpu_count)
+    degraded = cpu_count == 1
     rows = []
 
     size = GRAPH_SIZES[mode][-1]
@@ -372,6 +405,8 @@ def _bench_parallel(
             "variant": "embed_all_layerwise",
             "graph": _graph_meta(size),
             "workers": workers,
+            "workers_effective": workers_effective,
+            "degraded": degraded,
             "before_s": round(serial, 6),
             "after_s": round(parallel, 6),
             "speedup": round(serial / parallel, 2),
@@ -397,6 +432,8 @@ def _bench_parallel(
             "k": k,
             "n_init": cfg.n_init,
             "workers": workers,
+            "workers_effective": workers_effective,
+            "degraded": degraded,
             "before_s": round(serial, 6),
             "after_s": round(parallel, 6),
             "speedup": round(serial / parallel, 2),
@@ -429,11 +466,203 @@ def _bench_parallel(
             "candidates": n_cand,
             "k": n_cand,
             "workers": workers,
+            "workers_effective": workers_effective,
+            "degraded": degraded,
             "before_s": round(serial, 6),
             "after_s": round(parallel, 6),
             "speedup": round(serial / parallel, 2),
         }
     )
+    return rows
+
+
+def dense_footprint_mb(
+    num_users: int, num_items: int, num_edges: int, dim: int
+) -> float:
+    """Analytic MB an in-memory ``BipartiteGraph`` of this shape holds.
+
+    Edge list (E x 2 int64) + both CSR directions (indices + weights
+    per edge, indptr per vertex) + float64 features on both sides —
+    the baseline the sharded store's peak RSS is judged against.
+    """
+    edge_list = num_edges * 2 * 8
+    csr = 2 * num_edges * (8 + 8) + (num_users + num_items + 2) * 8
+    features = (num_users + num_items) * dim * 8
+    return (edge_list + csr + features) / 2**20
+
+
+def _shard_model(dim: int, seed: int):
+    from repro.core.sage import BipartiteGraphSAGE
+    from repro.utils.config import SageConfig
+
+    cfg = SageConfig(embedding_dim=dim, neighbor_samples=(5, 3))
+    return BipartiteGraphSAGE(dim, dim, cfg, rng=seed)
+
+
+def _run_shard_child(run_mode: str, spec: dict[str, Any], seed: int, workers: int):
+    """One ``repro shard --json`` subprocess; returns its parsed report.
+
+    Children exist so each side's ``ru_maxrss`` is clean: the dense
+    child materialises the full graph, the sharded child only ever maps
+    shard blocks, and neither inherits the other's peak.
+    """
+    import sys
+
+    import repro
+
+    cmd = [
+        sys.executable,
+        "-m",
+        "repro.cli",
+        "shard",
+        "--json",
+        "--mode",
+        run_mode,
+        "--users",
+        str(spec["users"]),
+        "--items",
+        str(spec["items"]),
+        "--clusters",
+        str(spec["clusters"]),
+        "--shards",
+        str(spec["shards"]),
+        "--mean-degree",
+        str(spec["degree"]),
+        "--seed",
+        str(seed),
+        "--workers",
+        str(workers),
+    ]
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1]) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    out = subprocess.run(
+        cmd, capture_output=True, text=True, env=env, timeout=3600
+    )
+    if out.returncode != 0:
+        raise RuntimeError(f"shard child ({run_mode}) failed:\n{out.stderr}")
+    return json.loads(out.stdout)
+
+
+def _bench_shard(
+    mode: str, seed: int, repeats: int, workers: int
+) -> list[dict[str, Any]]:
+    """Dense in-memory inference vs the out-of-core sharded path.
+
+    The smoke row runs in-process (same world via ``to_graph``, bitwise
+    compared).  ``subprocess`` rows stream a million-vertex world and
+    measure each side's peak RSS in an isolated child; equality there is
+    checked through embedding checksums.
+    """
+    import shutil
+    import tempfile
+
+    from repro.data.synthetic import StreamedWorldConfig, stream_world_to_shards
+
+    dim = 16
+    rows = []
+    for spec in SHARD_SIZES[mode]:
+        if spec.get("subprocess"):
+            sharded = _run_shard_child("sharded", spec, seed, workers)
+            dense = _run_shard_child("dense", spec, seed, workers)
+            rows.append(
+                {
+                    "variant": "streamed_world_out_of_core",
+                    "graph": {
+                        "num_users": spec["users"],
+                        "num_items": spec["items"],
+                        "num_edges": sharded["num_edges"],
+                    },
+                    "num_shards": spec["shards"],
+                    "workers": workers,
+                    "build_s": sharded["build_s"],
+                    "edges_shard_local": sharded["edges_shard_local"],
+                    "before_s": dense["embed_s"],
+                    "after_s": sharded["embed_s"],
+                    "speedup": round(dense["embed_s"] / sharded["embed_s"], 2),
+                    "bitwise_equal": sharded["checksum"] == dense["checksum"],
+                    "peak_rss_mb": sharded["peak_rss_mb"],
+                    "dense_peak_rss_mb": dense["peak_rss_mb"],
+                    "dense_edge_list_mb": round(
+                        dense_footprint_mb(
+                            spec["users"], spec["items"], sharded["num_edges"], dim
+                        ),
+                        1,
+                    ),
+                }
+            )
+            continue
+
+        cfg = StreamedWorldConfig(
+            num_users=spec["users"],
+            num_items=spec["items"],
+            num_clusters=spec["clusters"],
+            mean_degree=spec["degree"],
+            feature_dim=dim,
+        )
+        work = Path(tempfile.mkdtemp(prefix="repro-bench-shard-"))
+        try:
+            t0 = time.perf_counter()
+            store = stream_world_to_shards(
+                work / "world", cfg, num_shards=spec["shards"], seed=seed
+            )
+            build = time.perf_counter() - t0
+            with store:
+                graph = store.to_graph()
+                before = _best_of(
+                    lambda: _shard_model(dim, seed).embed_all(
+                        graph, batch_size=1024, mode="layerwise"
+                    ),
+                    repeats,
+                )
+                after = _best_of(
+                    lambda: _shard_model(dim, seed).embed_all(
+                        store, batch_size=1024, workers=workers
+                    ),
+                    repeats,
+                )
+                zu_d, zi_d = _shard_model(dim, seed).embed_all(
+                    graph, batch_size=1024, mode="layerwise"
+                )
+                zu_s, zi_s = _shard_model(dim, seed).embed_all(
+                    store, batch_size=1024, workers=workers
+                )
+                bitwise = np.array_equal(
+                    np.asarray(zu_d), np.asarray(zu_s)
+                ) and np.array_equal(np.asarray(zi_d), np.asarray(zi_s))
+                del zu_s, zi_s
+                vertices = _counter_during(
+                    lambda: _shard_model(dim, seed).embed_all(
+                        store, batch_size=1024, workers=workers
+                    ),
+                    "sage.vertices_embedded",
+                )
+                rows.append(
+                    {
+                        "variant": "embed_sharded_smoke",
+                        "graph": {
+                            "num_users": store.num_users,
+                            "num_items": store.num_items,
+                            "num_edges": store.num_edges,
+                        },
+                        "num_shards": store.num_shards,
+                        "workers": workers,
+                        "build_s": round(build, 6),
+                        "edges_shard_local": round(store.edges_shard_local, 4),
+                        "before_s": round(before, 6),
+                        "after_s": round(after, 6),
+                        "speedup": round(before / after, 2),
+                        "bitwise_equal": bool(bitwise),
+                        "vertices_embedded": int(vertices),
+                        "vertices_per_sec": round(vertices / after, 1),
+                    }
+                )
+        finally:
+            shutil.rmtree(work, ignore_errors=True)
+            from repro.shard.storage import forget_shard_dir
+
+            forget_shard_dir(work / "world")
     return rows
 
 
@@ -466,6 +695,7 @@ def bench_hotpaths(
             "kmeans": _bench_kmeans(mode, seed, repeats),
             "parallel": _bench_parallel(mode, seed, repeats, workers),
             "score_topk": _bench_score_topk(mode, seed, repeats),
+            "shard": _bench_shard(mode, seed, repeats, workers),
         },
     }
 
@@ -478,17 +708,19 @@ def write_report(report: dict[str, Any], path: str | Path = DEFAULT_REPORT) -> P
 
 
 def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any]:
-    """Read a report, upgrading v1/v2 files to the v3 shape in memory.
+    """Read a report, upgrading v1–v3 files to the v4 shape in memory.
 
     v1 reports predate the commit stamp and throughput columns; v2
     reports predate the ``parallel``/``score_topk`` sections and the
-    ``cpu_count``/``workers`` stamps.  The loader fills the missing
-    top-level fields with None and leaves rows as-is (newer columns are
-    optional per-row), so consumers only handle one shape.
+    ``cpu_count``/``workers`` stamps; v3 reports predate the ``shard``
+    section and the per-row ``workers_effective``/``degraded`` honesty
+    columns.  The loader fills the missing top-level fields with None
+    and leaves rows as-is (newer columns and sections are optional), so
+    consumers only handle one shape.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
-    if schema in (SCHEMA_V1, SCHEMA_V2):
+    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3):
         report["schema"] = SCHEMA
         report.setdefault("git_commit", None)
         report.setdefault("cpu_count", None)

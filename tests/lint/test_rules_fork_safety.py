@@ -143,3 +143,62 @@ class TestSharedMatrixLifecycle:
             """
         )
         assert codes == []
+
+
+class TestUnownedMemmap:
+    def test_flags_bare_np_memmap(self, lint_codes):
+        codes = lint_codes(
+            """
+            import numpy as np
+
+            def load(path, n):
+                block = np.memmap(path, dtype="<f8", mode="r", shape=(n,))
+                return block.sum()
+            """
+        )
+        assert codes == ["RPR205"]
+
+    def test_flags_open_memmap(self, lint_codes):
+        codes = lint_codes(
+            """
+            from numpy.lib.format import open_memmap
+
+            def load(path):
+                return open_memmap(path, mode="r")
+            """
+        )
+        assert codes == ["RPR205"]
+
+    def test_with_block_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            import numpy as np
+
+            def load(path, n):
+                with np.memmap(path, dtype="<f8", mode="r", shape=(n,)) as block:
+                    return block.sum()
+            """
+        )
+        assert codes == []
+
+    def test_repo_config_sanctions_storage_module(self):
+        # The repo's own pyproject marks open_block()'s home module as
+        # the one place allowed to call np.memmap directly.
+        from pathlib import Path
+
+        from repro.lint import load_config
+
+        config = load_config(Path(__file__).resolve().parents[2])
+        assert config.rule_excluded("RPR205", "src/repro/shard/storage.py")
+        assert not config.rule_excluded("RPR205", "src/repro/core/sage.py")
+
+    def test_unrelated_memmap_name_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            import mmap
+
+            def load(fh):
+                return mmap.mmap(fh.fileno(), 0)
+            """
+        )
+        assert codes == []

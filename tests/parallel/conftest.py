@@ -1,0 +1,18 @@
+"""Shared-memory leak guard for every test in this package."""
+
+import pytest
+
+from repro.parallel import active_segment_names
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_segments():
+    """Fail any test that exits with an owner segment still registered.
+
+    A leaked segment outlives the process in /dev/shm, so this is the
+    one resource where "some other test will notice" is not true.
+    """
+    before = active_segment_names()
+    yield
+    leaked = active_segment_names() - before
+    assert not leaked, f"test leaked shared-memory segments: {sorted(leaked)}"

@@ -107,6 +107,24 @@ class TestSharedArrays:
         finally:
             pool.shutdown()
 
+    def test_owner_unlinks_segment_when_body_raises(self):
+        # Regression guard that needs no fork: any object advertising
+        # parallel=True makes shared_arrays allocate real segments, so
+        # the error-path unlink is exercised in-process.
+        class _FanoutPool:
+            parallel = True
+
+        data = np.arange(12.0).reshape(3, 4)
+        with pytest.raises(RuntimeError):
+            with shared_arrays(_FanoutPool(), data) as (handle,):
+                assert isinstance(handle, SharedMatrix)
+                name = handle.name
+                assert name in active_segment_names()
+                raise RuntimeError("boom")
+        assert name not in active_segment_names()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+
     @pytest.mark.parallel
     def test_cleanup_on_exception(self):
         pool = WorkerPool(2)

@@ -1,0 +1,77 @@
+"""Vertex → shard partitioners: determinism, balance, cluster alignment."""
+
+import numpy as np
+
+from repro.core.hignn import HiGNN
+from repro.graph.generators import random_bipartite
+from repro.shard import (
+    pack_groups,
+    partition_balanced,
+    partition_by_degree,
+    partition_from_hierarchy,
+)
+from repro.utils.config import HiGNNConfig, TrainConfig
+
+
+class TestPackGroups:
+    def test_deterministic(self):
+        sizes = np.array([7, 3, 9, 1, 5, 5])
+        a = pack_groups(sizes, 3)
+        b = pack_groups(sizes, 3)
+        assert np.array_equal(a, b)
+        assert a.dtype == np.dtype("<i4")
+
+    def test_loads_balanced(self):
+        rng = np.random.default_rng(0)
+        sizes = rng.integers(1, 40, size=50)
+        assignment = pack_groups(sizes, 4)
+        loads = np.bincount(assignment, weights=sizes, minlength=4)
+        # LPT guarantee: max load within 4/3 of the perfect split plus
+        # one group, far tighter than this sanity bound in practice.
+        assert loads.max() <= sizes.sum() / 4 + sizes.max()
+
+    def test_single_shard(self):
+        assert np.array_equal(pack_groups(np.array([2, 5]), 1), [0, 0])
+
+
+class TestPartitionBalanced:
+    def test_groups_stay_whole(self):
+        labels = np.random.default_rng(1).integers(0, 12, size=300)
+        assignment = partition_balanced(labels, 4)
+        for label in np.unique(labels):
+            shards = np.unique(assignment[labels == label])
+            assert len(shards) == 1
+
+    def test_empty_labels(self):
+        assert len(partition_balanced(np.array([], dtype=np.int64), 3)) == 0
+
+
+class TestPartitionByDegree:
+    def test_counts_even_and_deterministic(self):
+        degrees = np.random.default_rng(2).integers(0, 100, size=101)
+        a = partition_by_degree(degrees, 4)
+        b = partition_by_degree(degrees, 4)
+        assert np.array_equal(a, b)
+        counts = np.bincount(a, minlength=4)
+        assert counts.max() - counts.min() <= 1
+
+    def test_edge_mass_near_even(self):
+        degrees = np.random.default_rng(3).integers(1, 50, size=200)
+        assignment = partition_by_degree(degrees, 4)
+        mass = np.bincount(assignment, weights=degrees, minlength=4)
+        assert mass.max() <= 1.3 * degrees.sum() / 4
+
+
+class TestPartitionFromHierarchy:
+    def test_users_follow_level1_clusters(self):
+        graph = random_bipartite(120, 90, 700, feature_dim=6, rng=0)
+        hierarchy = HiGNN(
+            HiGNNConfig(levels=1, train=TrainConfig(epochs=1, batch_size=128)),
+            seed=0,
+        ).fit(graph)
+        user_shard, item_shard = partition_from_hierarchy(hierarchy, 3)
+        assert user_shard.shape == (120,) and item_shard.shape == (90,)
+        assert user_shard.max() < 3 and item_shard.max() < 3
+        clusters = hierarchy.levels[0].user_assignment
+        for cluster in np.unique(clusters):
+            assert len(np.unique(user_shard[clusters == cluster])) == 1

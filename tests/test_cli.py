@@ -51,6 +51,11 @@ class TestCommands:
         # Shrink the workload grid: this exercises the wiring, not perf.
         monkeypatch.setitem(bench.GRAPH_SIZES, "quick", [(40, 30, 120)])
         monkeypatch.setitem(bench.KMEANS_SIZES, "quick", [(60, 4, 5)])
+        monkeypatch.setitem(
+            bench.SHARD_SIZES,
+            "quick",
+            [{"users": 120, "items": 90, "clusters": 6, "shards": 3, "degree": 4.0}],
+        )
         out = tmp_path / "bench.json"
         code = main(["bench", "--mode", "quick", "--repeats", "1",
                      "--out", str(out)])
@@ -63,8 +68,11 @@ class TestCommands:
         assert "git_commit" in data
         assert set(data["benchmarks"]) == {
             "embed_all", "train_epoch", "weighted_sampling", "kmeans",
-            "parallel", "score_topk",
+            "parallel", "score_topk", "shard",
         }
+        for row in data["benchmarks"]["parallel"]:
+            assert row["workers_effective"] >= 1
+            assert isinstance(row["degraded"], bool)
         assert data["benchmarks"]["embed_all"][0]["vertices_per_sec"] > 0
 
 

@@ -1,4 +1,4 @@
-"""Bench report schema v2: commit stamp, throughput columns, v1 loader."""
+"""Bench report schema: commit stamp, throughput columns, legacy loaders."""
 
 import json
 
@@ -8,6 +8,7 @@ from repro.utils import bench
 from repro.utils.bench import (
     SCHEMA,
     SCHEMA_V1,
+    SCHEMA_V3,
     bench_hotpaths,
     git_commit,
     load_report,
@@ -21,13 +22,18 @@ def tiny_report(tmp_path_factory):
     """One tiny bench run shared by the schema tests (wiring, not perf)."""
     sizes = dict(bench.GRAPH_SIZES)
     ksizes = dict(bench.KMEANS_SIZES)
+    ssizes = dict(bench.SHARD_SIZES)
     bench.GRAPH_SIZES["quick"] = [(40, 30, 120)]
     bench.KMEANS_SIZES["quick"] = [(60, 4, 5)]
+    bench.SHARD_SIZES["quick"] = [
+        {"users": 120, "items": 90, "clusters": 6, "shards": 3, "degree": 4.0}
+    ]
     try:
         report = bench_hotpaths("quick", seed=0, repeats=1)
     finally:
         bench.GRAPH_SIZES.update(sizes)
         bench.KMEANS_SIZES.update(ksizes)
+        bench.SHARD_SIZES.update(ssizes)
     return report
 
 
@@ -47,6 +53,23 @@ class TestSchemaV2:
         assert sampling["samples_per_sec"] > 0
         train = benches["train_epoch"][0]
         assert train["edges_seen"] > 0 and train["edges_per_sec"] > 0
+
+    def test_v4_parallel_honesty_columns(self, tiny_report):
+        import os
+
+        for row in tiny_report["benchmarks"]["parallel"]:
+            assert row["workers_effective"] == min(
+                row["workers"], os.cpu_count() or 1
+            )
+            assert row["degraded"] == ((os.cpu_count() or 1) == 1)
+
+    def test_v4_shard_section(self, tiny_report):
+        rows = tiny_report["benchmarks"]["shard"]
+        assert len(rows) == 1
+        row = rows[0]
+        assert row["bitwise_equal"] is True
+        assert 0.0 <= row["edges_shard_local"] <= 1.0
+        assert row["num_shards"] == 3 and row["build_s"] > 0
 
     def test_render_includes_throughput_and_commit(self, tiny_report):
         text = render_report(tiny_report)
@@ -85,6 +108,40 @@ class TestLoader:
         assert loaded["git_commit"] is None
         # v1 rows render fine without throughput columns.
         assert "embed_all" in render_report(loaded)
+
+    def test_upgrades_v3(self, tmp_path):
+        v3 = {
+            "schema": SCHEMA_V3,
+            "git_commit": None,
+            "mode": "quick",
+            "seed": 0,
+            "repeats": 1,
+            "workers": 4,
+            "cpu_count": 1,
+            "python": "3",
+            "numpy": "2",
+            "benchmarks": {
+                "parallel": [
+                    {
+                        "variant": "kmeans_restarts",
+                        "n": 9,
+                        "k": 2,
+                        "workers": 4,
+                        "before_s": 1.0,
+                        "after_s": 0.5,
+                        "speedup": 2.0,
+                    }
+                ]
+            },
+        }
+        path = tmp_path / "v3.json"
+        path.write_text(json.dumps(v3))
+        loaded = load_report(path)
+        assert loaded["schema"] == SCHEMA
+        # v3 rows lack the shard section and honesty columns; both are
+        # optional after upgrade and rendering still works.
+        assert "shard" not in loaded["benchmarks"]
+        assert "kmeans_restarts" in render_report(loaded)
 
     def test_rejects_unknown_schema(self, tmp_path):
         path = tmp_path / "bad.json"
