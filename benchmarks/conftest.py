@@ -17,6 +17,18 @@ from repro.data import load_dataset, load_query_dataset
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--check-baseline",
+        action="store_true",
+        default=False,
+        help=(
+            "opt-in: re-time the hot paths and compare against the "
+            "committed BENCH_hotpaths.json (repro bench --check)"
+        ),
+    )
+
+
 @pytest.fixture()
 def report(capsys):
     """Callable writing a block of text to terminal + results file."""

@@ -20,8 +20,18 @@ from __future__ import annotations
 import json
 import pathlib
 
+import pytest
+
 from repro.parallel import configure
-from repro.utils.bench import SCHEMA, bench_hotpaths, render_report, write_report
+from repro.utils.bench import (
+    SCHEMA,
+    bench_hotpaths,
+    check_report,
+    load_report,
+    render_check_table,
+    render_report,
+    write_report,
+)
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 
@@ -69,3 +79,31 @@ def test_hotpath_bench_writes_tracked_report(report):
     assert benches["train_epoch"][-1]["speedup"] > 1.2
     # Lazy top-k beats ranking the whole table up front.
     assert benches["score_topk"][-1]["speedup"] > 1.0
+
+
+def test_bench_check_against_committed_baseline(request, report):
+    """Opt-in regression sentinel: ``pytest benchmarks/ --check-baseline``.
+
+    Re-times the quick grid and compares it to the committed
+    ``BENCH_hotpaths.json`` with :func:`check_report` — the same
+    comparison ``repro bench --check`` runs.  Rows only present in the
+    full-mode record stay unmatched (not failures), and degraded /
+    ``workers_effective``-mismatched rows are skipped, so this is safe
+    on any host that can run the quick grid.
+    """
+    if not request.config.getoption("--check-baseline"):
+        pytest.skip("pass --check-baseline to compare against BENCH_hotpaths.json")
+    baseline = load_report(REPO_ROOT / "BENCH_hotpaths.json")
+    configure(map_timeout_s=120.0)
+    current = bench_hotpaths(
+        "quick",
+        seed=baseline.get("seed", 0),
+        repeats=3,
+        workers=baseline.get("workers") or 2,
+    )
+    result = check_report(current, baseline)
+    report("bench_check", render_check_table(result))
+    assert not result["regressions"], (
+        f"{len(result['regressions'])} hot path(s) regressed vs committed "
+        f"baseline:\n" + render_check_table(result)
+    )

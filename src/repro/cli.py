@@ -17,16 +17,28 @@ record, run the benchmark suite instead (``pytest benchmarks/
 
 Observability flags (see README "Observability"):
 
-* ``--trace PATH`` (stats/table3/taxonomy/ab) runs the command under a
-  :mod:`repro.obs` session, writes a Chrome trace-event JSON to PATH
-  (open in Perfetto or ``chrome://tracing``) plus a flat dump next to
-  it, and prints span/metrics summary tables.
+* ``--trace PATH`` runs the command under a :mod:`repro.obs` session,
+  writes a Chrome trace-event JSON to PATH (open in Perfetto or
+  ``chrome://tracing``) plus a flat dump next to it, and prints
+  span/metrics summary tables.
+* ``--metrics PATH`` dumps the final metrics snapshot (counters, gauges,
+  percentile histograms) as JSON; composes with ``--trace``.
+* ``--progress`` runs a :class:`repro.obs.ResourceMonitor` with a
+  throttled single-line status renderer fed by library heartbeats —
+  long ``shard``/training runs report vertices done, rate and ETA
+  instead of staying silent.  With ``--trace``, the monitor's resource
+  time-series lands in the Chrome trace as counter tracks.
 * ``--log-level LEVEL`` / ``-v`` installs a stream handler on the
   ``repro`` logger so library progress logging (e.g.
   ``TrainConfig.log_every``) reaches the terminal.
 * ``--workers N`` (every subcommand) sets the process-global worker
   count for the parallel hot paths (see README "Parallelism"); results
   are bitwise identical for any N given the same seed.
+
+``repro bench --check`` re-runs the hot-path bench and compares it
+against a recorded baseline (``BENCH_hotpaths.json``) instead of
+overwriting it — non-zero exit plus a per-row delta table on
+regression.  See README "Performance".
 """
 
 from __future__ import annotations
@@ -74,6 +86,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--seed", type=int, default=0)
     bench.add_argument("--repeats", type=int, default=3)
     bench.add_argument("--out", default="BENCH_hotpaths.json")
+    bench.add_argument(
+        "--check",
+        action="store_true",
+        help="regression sentinel: compare against the baseline report "
+        "instead of overwriting it; exit 1 on regression",
+    )
+    bench.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline report for --check (default: the --out path)",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="fractional slowdown tolerated by --check before a row "
+        "counts as a regression (default 0.5 = 50%%)",
+    )
+    _obs_flags(bench)
     _workers_flag(bench)
     _logging_flags(bench)
 
@@ -109,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     shard.add_argument(
         "--keep", action="store_true", help="leave the shard directory on disk"
     )
+    _obs_flags(shard)
     _workers_flag(shard)
     _logging_flags(shard)
 
@@ -125,14 +159,31 @@ def build_parser() -> argparse.ArgumentParser:
 def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--size", default="small", choices=("tiny", "small", "default"))
     parser.add_argument("--seed", type=int, default=0)
+    _obs_flags(parser)
+    _workers_flag(parser)
+    _logging_flags(parser)
+
+
+def _obs_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--trace",
         metavar="PATH",
         default=None,
         help="record a trace: Chrome trace-event JSON to PATH + summary tables",
     )
-    _workers_flag(parser)
-    _logging_flags(parser)
+    parser.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="dump the final metrics snapshot (counters/gauges/percentile "
+        "histograms) as JSON to PATH",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="sample resources in the background and render a throttled "
+        "single-line progress status from library heartbeats",
+    )
 
 
 def _workers_flag(parser: argparse.ArgumentParser) -> None:
@@ -279,14 +330,45 @@ def cmd_ab(args: argparse.Namespace) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from repro.utils.bench import bench_hotpaths, render_report, write_report
+    from repro.utils.bench import (
+        bench_hotpaths,
+        check_report,
+        load_report,
+        render_check_table,
+        render_report,
+        write_report,
+    )
 
     # The parallel section compares serial vs N workers; default the
     # comparison to 4 when the global --workers was left at 1.
     workers = args.workers if args.workers and args.workers > 1 else 4
+    if getattr(args, "check", False):
+        baseline_path = args.baseline or args.out
+        try:
+            baseline = load_report(baseline_path)
+        except (OSError, ValueError) as exc:
+            print(f"cannot load baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
     report = bench_hotpaths(
         args.mode, seed=args.seed, repeats=args.repeats, workers=workers
     )
+    if getattr(args, "check", False):
+        tolerance = args.tolerance
+        result = (
+            check_report(report, baseline)
+            if tolerance is None
+            else check_report(report, baseline, tolerance=tolerance)
+        )
+        print(render_check_table(result))
+        if result["regressions"]:
+            print(
+                f"\nREGRESSION: {len(result['regressions'])} row(s) slower "
+                f"than baseline {baseline_path} beyond tolerance",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"\nok: no regressions vs {baseline_path}")
+        return 0
     print(render_report(report))
     path = write_report(report, args.out)
     print(f"wrote {path}")
@@ -299,18 +381,39 @@ def cmd_shard(args: argparse.Namespace) -> int:
     ``--mode sharded`` keeps the graph on disk end to end (the
     out-of-core path); ``--mode dense`` materialises it in memory and
     runs the dense layer-wise path on identical content.  Both print
-    wall times, this process's peak RSS, and a checksum of the
-    embeddings — equal checksums across modes certify the bitwise
-    guarantee at scales where comparing arrays in one process would
-    defeat the RSS measurement.
+    wall times, this process's *measured* peak RSS (sampled by a
+    :class:`repro.obs.ResourceMonitor` over build + embed), and a
+    checksum of the embeddings — equal checksums across modes certify
+    the bitwise guarantee at scales where comparing arrays in one
+    process would defeat the RSS measurement.
     """
-    import hashlib
-    import json
-    import resource
     import shutil
     import tempfile
-    import time
     from pathlib import Path
+
+    from repro import obs
+
+    if args.path is not None:
+        root, path = None, Path(args.path)
+    else:
+        root = Path(tempfile.mkdtemp(prefix="repro-shard-"))
+        path = root / "world"
+    try:
+        monitor = obs.current_monitor()
+        if monitor is not None:  # --progress (or a caller) already owns one
+            return _shard_run(args, path, monitor)
+        with obs.ResourceMonitor(tag="shard") as monitor:
+            return _shard_run(args, path, monitor)
+    finally:
+        if root is not None and not args.keep:
+            shutil.rmtree(root, ignore_errors=True)
+
+
+def _shard_run(args: argparse.Namespace, path, monitor) -> int:
+    """Body of :func:`cmd_shard` under an owned resource monitor."""
+    import hashlib
+    import json
+    import time
 
     from repro.core.sage import BipartiteGraphSAGE
     from repro.data.synthetic import StreamedWorldConfig, stream_world_to_shards
@@ -323,73 +426,64 @@ def cmd_shard(args: argparse.Namespace) -> int:
         mean_degree=args.mean_degree,
         feature_dim=args.dim,
     )
-    if args.path is not None:
-        root, path = None, Path(args.path)
-    else:
-        root = Path(tempfile.mkdtemp(prefix="repro-shard-"))
-        path = root / "world"
-    try:
+    t0 = time.perf_counter()
+    store = stream_world_to_shards(path, cfg, num_shards=args.shards, seed=args.seed)
+    build_s = time.perf_counter() - t0
+    report = {
+        "mode": args.mode,
+        "num_users": store.num_users,
+        "num_items": store.num_items,
+        "num_edges": store.num_edges,
+        "num_shards": store.num_shards,
+        "workers": args.workers,
+        "build_s": round(build_s, 3),
+        "edges_shard_local": round(store.edges_shard_local, 4),
+    }
+    model = BipartiteGraphSAGE(
+        args.dim,
+        args.dim,
+        SageConfig(embedding_dim=args.dim, neighbor_samples=(5, 3)),
+        rng=args.seed,
+    )
+    if args.mode == "dense":
+        graph = store.to_graph()
+        store.close()
         t0 = time.perf_counter()
-        store = stream_world_to_shards(
-            path, cfg, num_shards=args.shards, seed=args.seed
+        z_u, z_i = model.embed_all(graph, batch_size=args.batch_size, mode="layerwise")
+    else:
+        t0 = time.perf_counter()
+        z_u, z_i = model.embed_all(
+            store, batch_size=args.batch_size, workers=args.workers
         )
-        build_s = time.perf_counter() - t0
-        report = {
-            "mode": args.mode,
-            "num_users": store.num_users,
-            "num_items": store.num_items,
-            "num_edges": store.num_edges,
-            "num_shards": store.num_shards,
-            "workers": args.workers,
-            "build_s": round(build_s, 3),
-            "edges_shard_local": round(store.edges_shard_local, 4),
-        }
-        model = BipartiteGraphSAGE(
-            args.dim,
-            args.dim,
-            SageConfig(embedding_dim=args.dim, neighbor_samples=(5, 3)),
-            rng=args.seed,
-        )
-        if args.mode == "dense":
-            graph = store.to_graph()
-            store.close()
-            t0 = time.perf_counter()
-            z_u, z_i = model.embed_all(
-                graph, batch_size=args.batch_size, mode="layerwise"
+    report["embed_s"] = round(time.perf_counter() - t0, 3)
+    # Peak over build + embed only, measured by the background sampler
+    # (with the process ru_maxrss high-water folded in): the checksum
+    # below pages every output row back in, charging the cross-mode
+    # verification convenience (not the out-of-core path) to this
+    # process.
+    monitor.sample_now()
+    report["peak_rss_mb"] = round(monitor.peak_rss_mb, 1)
+    report["peak_rss_source"] = "monitor"
+    report["monitor_interval_s"] = monitor.interval_s
+    report["monitor_samples"] = len(monitor.samples)
+    digest = hashlib.sha256()
+    for matrix in (z_u, z_i):
+        for start in range(0, len(matrix), 65536):
+            digest.update(
+                np.ascontiguousarray(matrix[start : start + 65536]).tobytes()
             )
-        else:
-            t0 = time.perf_counter()
-            z_u, z_i = model.embed_all(
-                store, batch_size=args.batch_size, workers=args.workers
-            )
-        report["embed_s"] = round(time.perf_counter() - t0, 3)
-        # High-water mark of build + embed only: the checksum below pages
-        # every output row back in, charging the cross-mode verification
-        # convenience (not the out-of-core path) to this process.
-        report["peak_rss_mb"] = round(
-            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
-        )
-        digest = hashlib.sha256()
-        for matrix in (z_u, z_i):
-            for start in range(0, len(matrix), 65536):
-                digest.update(
-                    np.ascontiguousarray(matrix[start : start + 65536]).tobytes()
-                )
-        report["checksum"] = digest.hexdigest()
-        if args.keep:
-            store.close()
-            report["path"] = str(path)
-        else:
-            store.destroy()
-        if args.as_json:
-            print(json.dumps(report, indent=2, sort_keys=True))
-        else:
-            for key, value in report.items():
-                print(f"{key:<18} {value}")
-        return 0
-    finally:
-        if root is not None and not args.keep:
-            shutil.rmtree(root, ignore_errors=True)
+    report["checksum"] = digest.hexdigest()
+    if args.keep:
+        store.close()
+        report["path"] = str(path)
+    else:
+        store.destroy()
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for key, value in report.items():
+            print(f"{key:<18} {value}")
+    return 0
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
@@ -419,26 +513,54 @@ def _setup_logging(args: argparse.Namespace) -> None:
         configure_logging(level)
 
 
-def _run_traced(args: argparse.Namespace) -> int:
-    """Run the command inside an obs session and export the trace."""
+def _run_instrumented(args: argparse.Namespace) -> int:
+    """Run the command under the requested obs plumbing.
+
+    ``--trace``/``--metrics`` install a full obs session (tracer +
+    registry) and export afterwards; ``--progress`` additionally runs an
+    owned :class:`~repro.obs.ResourceMonitor` whose heartbeat renderer
+    draws the status line and whose resource series rides into the
+    Chrome trace as counter tracks.
+    """
+    import contextlib
     from pathlib import Path
 
     from repro import obs
 
-    trace_path = Path(args.trace)
-    with obs.observe() as session:
+    trace_path = Path(args.trace) if getattr(args, "trace", None) else None
+    metrics_path = Path(args.metrics) if getattr(args, "metrics", None) else None
+    with contextlib.ExitStack() as stack:
+        session = None
+        if trace_path is not None or metrics_path is not None:
+            session = stack.enter_context(obs.observe())
+        monitor = None
+        if getattr(args, "progress", False):
+            monitor = stack.enter_context(obs.ResourceMonitor(progress=True))
+        if session is None:
+            return _COMMANDS[args.command](args)
         with obs.span(
-            f"cli.{args.command}", size=getattr(args, "size", None), seed=args.seed
+            f"cli.{args.command}",
+            size=getattr(args, "size", None),
+            seed=getattr(args, "seed", None),
         ):
             code = _COMMANDS[args.command](args)
-        session.write_chrome_trace(trace_path)
-        flat_path = trace_path.with_name(trace_path.stem + ".flat.json")
-        session.write_flat_trace(flat_path)
-        print(f"\nwrote trace {trace_path} (flat dump: {flat_path})")
-        print("\n== span summary ==")
-        print(session.span_summary())
-        print("\n== metrics ==")
-        print(session.metrics_summary())
+        if monitor is not None:
+            # Seal the series (and the peak-RSS gauge) before export.
+            monitor.stop()
+            session.monitor = monitor
+        if trace_path is not None:
+            session.write_chrome_trace(trace_path)
+            flat_path = trace_path.with_name(trace_path.stem + ".flat.json")
+            session.write_flat_trace(flat_path)
+            print(f"\nwrote trace {trace_path} (flat dump: {flat_path})")
+        if metrics_path is not None:
+            obs.write_metrics_json(session.registry, metrics_path)
+            print(f"\nwrote metrics {metrics_path}")
+        if trace_path is not None:
+            print("\n== span summary ==")
+            print(session.span_summary())
+            print("\n== metrics ==")
+            print(session.metrics_summary())
     return code
 
 
@@ -451,8 +573,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.parallel import configure
 
         configure(workers=workers)
-    if getattr(args, "trace", None):
-        return _run_traced(args)
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "metrics", None)
+        or getattr(args, "progress", False)
+    ):
+        return _run_instrumented(args)
     return _COMMANDS[args.command](args)
 
 

@@ -40,6 +40,7 @@ from repro.graph.sampling import NeighborSampler
 from repro.nn.layers import Activation, Linear, Module
 from repro.obs import span
 from repro.obs.metrics import counter_add, observe
+from repro.obs.monitor import heartbeat
 from repro.nn.tensor import Tensor, concat, no_grad, where
 from repro.parallel import as_ndarray, get_pool, shared_arrays
 from repro.utils.config import SageConfig
@@ -95,6 +96,7 @@ def _sharded_shard_task(task: tuple, context: tuple) -> int:
     identical to the in-memory result.
     """
     from repro.obs.metrics import counter_add as _counter_add
+    from repro.obs.monitor import heartbeat as _heartbeat
     from repro.shard.storage import open_block
 
     shard_id, chunks = task
@@ -103,10 +105,19 @@ def _sharded_shard_task(task: tuple, context: tuple) -> int:
     other_prev = open_block(other_spec[0], np.float64, other_spec[1], mode="r")
     out = open_block(out_spec[0], np.float64, out_spec[1], mode="r+")
     read = written = 0
+    total_rows = sum(stop - start for start, stop, _neigh in chunks)
+    done_rows = 0
     for start, stop, neigh in chunks:
         out[start:stop] = _layerwise_chunk((start, stop, neigh), (own_prev, other_prev, params))
         read += ((stop - start) * own_prev.shape[1] + neigh.size * other_prev.shape[1]) * 8
         written += (stop - start) * out.shape[1] * 8
+        done_rows += stop - start
+        _heartbeat(
+            f"shard{shard_id:03d}.embed",
+            done_rows,
+            total_rows,
+            frontier=int(neigh.size),
+        )
     if isinstance(out, np.memmap):
         out.flush()
     _counter_add("shard.mmap_bytes_read", read)
@@ -629,6 +640,9 @@ class BipartiteGraphSAGE(Module):
             for start in range(0, n, batch_size):
                 stop = min(start + batch_size, n)
                 observe("sage.frontier_size", stop - start)
+                heartbeat(
+                    f"shard.frontier.{side}", stop, n, step=step, fanout=fanout
+                )
                 chunk = np.arange(start, stop)
                 if side == "user":
                     neigh = sampler.sample_items_for_users(chunk, fanout)

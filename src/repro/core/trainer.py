@@ -20,6 +20,7 @@ from repro.graph.sampling import NegativeSampler, sample_edge_batches
 from repro.nn.losses import l2_penalty
 from repro.obs import span
 from repro.obs.metrics import counter_add
+from repro.obs.monitor import heartbeat
 from repro.nn.optim import build_optimizer, clip_grad_norm
 from repro.utils.config import SageConfig, TrainConfig
 from repro.utils.logging import get_logger
@@ -95,6 +96,13 @@ class SageTrainer:
                 )
             counter_add("train.edges_seen", edges_seen)
             counter_add("train.epochs", 1)
+            heartbeat(
+                "train.fit",
+                epoch + 1,
+                tcfg.epochs,
+                loss=round(mean_loss, 4),
+                edges=edges_seen,
+            )
             result.epoch_losses.append(mean_loss)
             logger.info("epoch %d mean loss %.4f", epoch, mean_loss)
         return result

@@ -107,6 +107,53 @@ def check_eager_log_formatting(
         )
 
 
+_MONITOR_QUALNAMES = {
+    "ResourceMonitor",
+    "repro.obs.ResourceMonitor",
+    "repro.obs.monitor.ResourceMonitor",
+}
+
+
+def _is_enter_context_arg(node: ast.Call, ctx: ModuleContext) -> bool:
+    """Whether ``node`` is passed to an ``ExitStack.enter_context(...)``."""
+    parent = ctx.parent(node)
+    return (
+        isinstance(parent, ast.Call)
+        and isinstance(parent.func, ast.Attribute)
+        and parent.func.attr == "enter_context"
+        and parent.args
+        and parent.args[0] is node
+    )
+
+
+@rule(
+    code="RPR304",
+    name="unowned-monitor",
+    severity=Severity.WARNING,
+    family="obs-hygiene",
+    description=(
+        "ResourceMonitor() starts a sampling thread; anything but "
+        "`with ResourceMonitor(...)` (or ExitStack.enter_context) risks "
+        "the thread outliving its work and surviving into forked workers"
+    ),
+    nodes=(ast.Call,),
+)
+def check_unowned_monitor(
+    node: ast.Call, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    name = ctx.qualname(node.func)
+    if name not in _MONITOR_QUALNAMES:
+        return
+    if ctx.in_with_item(node) or _is_enter_context_arg(node, ctx):
+        return
+    yield node, (
+        "ResourceMonitor outside an owning with-block: the sampler thread "
+        "has no guaranteed stop point and a fork while it runs duplicates "
+        "its state — use `with ResourceMonitor(...) as mon:` (or "
+        "stack.enter_context)"
+    )
+
+
 @rule(
     code="RPR303",
     name="ad-hoc-registry",

@@ -28,10 +28,13 @@ from repro.obs.export import (
     TRACE_SCHEMA,
     chrome_trace,
     flat_trace,
+    metrics_json,
     metrics_summary_table,
+    monitor_counter_events,
     span_summary_table,
     write_chrome_trace,
     write_flat_trace,
+    write_metrics_json,
 )
 from repro.obs.metrics import (
     MetricsRegistry,
@@ -43,6 +46,15 @@ from repro.obs.metrics import (
     uninstall_registry,
 )
 from repro.obs.metrics import observe as observe_value
+from repro.obs.monitor import (
+    ResourceMonitor,
+    active_monitors,
+    current_monitor,
+    heartbeat,
+    install_monitor,
+    monitoring_enabled,
+    uninstall_monitor,
+)
 from repro.obs.trace import (
     Span,
     Tracer,
@@ -62,9 +74,16 @@ __all__ = [
     "counter_add",
     "gauge_set",
     "observe_value",
+    "heartbeat",
     "Span",
     "Tracer",
     "MetricsRegistry",
+    "ResourceMonitor",
+    "active_monitors",
+    "current_monitor",
+    "install_monitor",
+    "uninstall_monitor",
+    "monitoring_enabled",
     "tracing_enabled",
     "metrics_enabled",
     "current_tracer",
@@ -75,8 +94,11 @@ __all__ = [
     "uninstall_registry",
     "chrome_trace",
     "flat_trace",
+    "monitor_counter_events",
     "write_chrome_trace",
     "write_flat_trace",
+    "metrics_json",
+    "write_metrics_json",
     "span_summary_table",
     "metrics_summary_table",
     "TRACE_SCHEMA",
@@ -84,20 +106,33 @@ __all__ = [
 
 
 class ObsSession:
-    """One enabled observability window: a tracer plus a registry."""
+    """One enabled observability window: a tracer plus a registry.
 
-    def __init__(self, tracer: Tracer, registry: MetricsRegistry) -> None:
+    ``monitor`` is optional — when a :class:`ResourceMonitor` is
+    attached (the CLI does this for ``--progress``/resource capture),
+    its time-series rides into the Chrome trace as counter events.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        registry: MetricsRegistry,
+        monitor: ResourceMonitor | None = None,
+    ) -> None:
         self.tracer = tracer
         self.registry = registry
+        self.monitor = monitor
 
     def chrome_trace(self) -> dict[str, Any]:
-        return chrome_trace(self.tracer, self.registry)
+        return chrome_trace(self.tracer, self.registry, monitor=self.monitor)
 
     def flat_trace(self) -> dict[str, Any]:
         return flat_trace(self.tracer, self.registry)
 
     def write_chrome_trace(self, path: str | Path) -> Path:
-        return write_chrome_trace(self.tracer, path, self.registry)
+        return write_chrome_trace(
+            self.tracer, path, self.registry, monitor=self.monitor
+        )
 
     def write_flat_trace(self, path: str | Path) -> Path:
         return write_flat_trace(self.tracer, path, self.registry)

@@ -30,8 +30,11 @@ __all__ = [
     "TRACE_SCHEMA",
     "chrome_trace",
     "flat_trace",
+    "monitor_counter_events",
     "write_chrome_trace",
     "write_flat_trace",
+    "metrics_json",
+    "write_metrics_json",
     "span_summary_table",
     "metrics_summary_table",
 ]
@@ -51,10 +54,66 @@ def _safe_attrs(attrs: dict[str, Any]) -> dict[str, Any]:
     return {k: _json_safe(v) for k, v in attrs.items()}
 
 
+def _monitor_series(monitor: Any) -> list[dict[str, Any]]:
+    """Normalise a monitor argument to a list of series dicts."""
+    if monitor is None:
+        return []
+    if isinstance(monitor, list):
+        return monitor
+    return monitor.all_series()
+
+
+def monitor_counter_events(
+    monitor: Any, origin_s: float
+) -> list[dict[str, Any]]:
+    """Chrome counter events (``ph="C"``) from monitor resource series.
+
+    One counter track per metric per series tag; timestamps are
+    rebased onto the tracer origin (clamped at 0 — a monitor may start
+    before the tracer).  ``monitor`` is a
+    :class:`~repro.obs.monitor.ResourceMonitor` or a pre-extracted list
+    of series dicts.
+    """
+    events: list[dict[str, Any]] = []
+    for index, series in enumerate(_monitor_series(monitor)):
+        tag = series.get("tag", f"series{index}")
+        pid = series.get("pid", index)
+        for sample in series.get("samples", []):
+            ts = round(max(0.0, sample["t_s"] - origin_s) * 1e6, 3)
+            for key, unit in (
+                ("rss_mb", "mb"),
+                ("cpu_s", "s"),
+                ("open_fds", "fds"),
+            ):
+                value = sample.get(key)
+                if value is None or value < 0:
+                    continue
+                events.append(
+                    {
+                        "name": f"{key} ({tag})",
+                        "cat": "repro.monitor",
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": 0,
+                        "args": {unit: value},
+                    }
+                )
+    return events
+
+
 def chrome_trace(
-    tracer: Tracer, registry: MetricsRegistry | None = None
+    tracer: Tracer,
+    registry: MetricsRegistry | None = None,
+    monitor: Any = None,
 ) -> dict[str, Any]:
-    """Trace-event JSON dict (``traceEvents`` + metrics block)."""
+    """Trace-event JSON dict (``traceEvents`` + metrics block).
+
+    With a ``monitor`` (a :class:`~repro.obs.monitor.ResourceMonitor`
+    or list of series dicts), resource time-series are appended as
+    Chrome counter events — Perfetto renders them as per-process
+    counter tracks under the flame chart.
+    """
     origin = tracer.origin_s
     events = []
     for sp, _depth in tracer.all_spans():
@@ -70,6 +129,7 @@ def chrome_trace(
                 "args": _safe_attrs(sp.attrs),
             }
         )
+    events.extend(monitor_counter_events(monitor, origin))
     doc: dict[str, Any] = {
         "traceEvents": events,
         "displayTimeUnit": "ms",
@@ -111,12 +171,30 @@ def flat_trace(
 
 
 def write_chrome_trace(
-    tracer: Tracer, path: str | Path, registry: MetricsRegistry | None = None
+    tracer: Tracer,
+    path: str | Path,
+    registry: MetricsRegistry | None = None,
+    monitor: Any = None,
 ) -> Path:
     """Write :func:`chrome_trace` as JSON; returns the path."""
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(chrome_trace(tracer, registry), indent=2) + "\n")
+    path.write_text(
+        json.dumps(chrome_trace(tracer, registry, monitor=monitor), indent=2) + "\n"
+    )
+    return path
+
+
+def metrics_json(registry: MetricsRegistry) -> dict[str, Any]:
+    """The final registry snapshot wrapped with a schema stamp."""
+    return {"schema": TRACE_SCHEMA, "metrics": registry.snapshot()}
+
+
+def write_metrics_json(registry: MetricsRegistry, path: str | Path) -> Path:
+    """Write :func:`metrics_json` (the ``--metrics PATH`` payload)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(metrics_json(registry), indent=2) + "\n")
     return path
 
 
@@ -176,6 +254,8 @@ def metrics_summary_table(registry: MetricsRegistry) -> str:
                 "histogram",
                 name,
                 f"n={stats['count']} mean={stats['mean']:.3f} "
+                f"p50={_fmt(stats['p50'])} p90={_fmt(stats['p90'])} "
+                f"p99={_fmt(stats['p99'])} "
                 f"min={_fmt(stats['min'])} max={_fmt(stats['max'])}",
             ]
         )

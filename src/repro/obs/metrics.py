@@ -1,9 +1,28 @@
-"""Runtime metrics registry: counters, gauges and histograms.
+"""Runtime metrics registry: counters, gauges and percentile histograms.
 
 Counters accumulate monotonically (``vertices_embedded``,
 ``samples_drawn``), gauges hold the last written value, and histograms
-keep streaming summary statistics (count/sum/min/max) — enough for
-throughput and distribution reporting without storing every sample.
+record samples into fixed log-spaced buckets (HDR-histogram style) so
+``snapshot()`` can report p50/p90/p99 alongside count/sum/min/max
+without storing every sample.
+
+Bucketing is deterministic and merge-exact: a sample lands in the same
+bucket no matter which process observes it, and merging two histograms
+is an element-wise integer add of bucket counts.  A parent registry that
+folds worker snapshots therefore ends up in *identical* state however
+the samples were distributed across workers — the property the
+``workers=1`` vs ``workers=4`` bitwise-determinism tests pin.
+
+Gauges carry a per-gauge **merge policy** declared at write time::
+
+    gauge_set("pool.queue_depth", depth)                # default: "last"
+    gauge_set("monitor.peak_rss_mb", peak, merge="max")  # peaks survive merge
+
+``last`` (the default) keeps last-merge-wins semantics, matching the
+last-write-wins behaviour of :meth:`MetricsRegistry.gauge_set` itself.
+``max``/``min`` take the extremum across merged snapshots — use ``max``
+for peak-resource gauges so a worker's high-water mark is not silently
+overwritten by the parent's smaller value at join.
 
 Like :mod:`repro.obs.trace`, call sites go through module-level helpers
 (:func:`counter_add`, :func:`gauge_set`, :func:`observe`) that check a
@@ -13,6 +32,7 @@ read and a ``None`` test, cheap enough to leave in hot loops.
 
 from __future__ import annotations
 
+import math
 from typing import Any
 
 __all__ = [
@@ -26,33 +46,147 @@ __all__ = [
     "metrics_enabled",
 ]
 
+# Sub-buckets per power of two.  8 sub-buckets bound the relative
+# quantile error at ~1/16 of the value — plenty for latency/size
+# reporting — while keeping bucket maps tiny (a series spanning six
+# orders of magnitude touches < 160 buckets).
+_SUBBUCKETS = 8
+
+# Sentinel bucket index for samples <= 0 (log buckets only cover
+# positive values).  Far below any frexp exponent (subnormal doubles
+# bottom out near e = -1073, i.e. index ~ -8584).
+_NONPOS_BUCKET = -(1 << 30)
+
+GAUGE_POLICIES = ("last", "max", "min")
+
+
+def bucket_index(value: float) -> int:
+    """Deterministic log-bucket index for ``value``.
+
+    Positive values are split into ``_SUBBUCKETS`` linear sub-buckets
+    per power of two via :func:`math.frexp` (no floating log, so the
+    index is exactly reproducible).  Values <= 0 share one sentinel
+    bucket.
+    """
+    if value <= 0.0:
+        return _NONPOS_BUCKET
+    m, e = math.frexp(value)  # value = m * 2**e, m in [0.5, 1)
+    sub = int((m - 0.5) * (2 * _SUBBUCKETS))
+    if sub >= _SUBBUCKETS:  # m == 1.0 - ulp edge
+        sub = _SUBBUCKETS - 1
+    return e * _SUBBUCKETS + sub
+
+
+def bucket_value(index: int) -> float:
+    """Representative (midpoint) value of bucket ``index``."""
+    if index == _NONPOS_BUCKET:
+        return 0.0
+    e, sub = divmod(index, _SUBBUCKETS)
+    return math.ldexp(0.5 + (sub + 0.5) / (2 * _SUBBUCKETS), e)
+
+
+class _Histogram:
+    """Streaming summary stats plus exact log-bucket counts."""
+
+    __slots__ = ("count", "sum", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        idx = bucket_index(value)
+        self.buckets[idx] = self.buckets.get(idx, 0) + 1
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank quantile from bucket midpoints, clamped to [min, max]."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        cum = 0
+        for idx in sorted(self.buckets):
+            cum += self.buckets[idx]
+            if cum >= rank:
+                return min(max(bucket_value(idx), self.min), self.max)
+        return self.max  # pragma: no cover - rank always reachable
+
+    def merge(self, snap: dict[str, Any]) -> None:
+        count = int(snap["count"])
+        self.count += count
+        self.sum += snap["sum"]
+        self.min = min(self.min, snap["min"])
+        self.max = max(self.max, snap["max"])
+        buckets = snap.get("buckets")
+        if buckets is None:
+            # Pre-percentile snapshot (no bucket state): lossy fallback
+            # that keeps sum(buckets) == count by crediting everything
+            # to the mean's bucket.
+            if count:
+                mean = snap["sum"] / count
+                idx = bucket_index(mean)
+                self.buckets[idx] = self.buckets.get(idx, 0) + count
+            return
+        for key, n in buckets.items():
+            idx = int(key)  # JSON round-trips turn int keys into strings
+            self.buckets[idx] = self.buckets.get(idx, 0) + int(n)
+
+    def snapshot(self) -> dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min if self.count else 0.0,
+            "max": self.max if self.count else 0.0,
+            "mean": self.sum / self.count if self.count else 0.0,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "buckets": {idx: self.buckets[idx] for idx in sorted(self.buckets)},
+        }
+
 
 class MetricsRegistry:
-    """Named counters, gauges and streaming histograms."""
+    """Named counters, gauges and log-bucket percentile histograms.
+
+    Merge semantics (see :meth:`merge`): counters and histogram bucket
+    counts accumulate exactly; gauges follow their declared policy —
+    ``last`` (default) is last-merge-wins, ``max``/``min`` keep the
+    extremum across snapshots (used for peak-RSS style gauges).
+    """
 
     def __init__(self) -> None:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
-        # name -> [count, sum, min, max]
-        self.histograms: dict[str, list[float]] = {}
+        # Only gauges with a non-default ("last") policy appear here.
+        self.gauge_policies: dict[str, str] = {}
+        self.histograms: dict[str, _Histogram] = {}
 
     def counter_add(self, name: str, value: float = 1.0) -> None:
         self.counters[name] = self.counters.get(name, 0.0) + value
 
-    def gauge_set(self, name: str, value: float) -> None:
+    def gauge_set(self, name: str, value: float, merge: str = "last") -> None:
+        if merge not in GAUGE_POLICIES:
+            raise ValueError(f"unknown gauge merge policy: {merge!r}")
         self.gauges[name] = float(value)
+        if merge != "last":
+            self.gauge_policies[name] = merge
+        else:
+            self.gauge_policies.pop(name, None)
 
     def observe(self, name: str, value: float) -> None:
-        stats = self.histograms.get(name)
-        if stats is None:
-            self.histograms[name] = [1.0, float(value), float(value), float(value)]
-        else:
-            stats[0] += 1.0
-            stats[1] += value
-            if value < stats[2]:
-                stats[2] = float(value)
-            if value > stats[3]:
-                stats[3] = float(value)
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = _Histogram()
+        hist.observe(value)
 
     def counter(self, name: str) -> float:
         """Current counter value (0 if never incremented)."""
@@ -61,45 +195,50 @@ class MetricsRegistry:
     def merge(self, snapshot: dict[str, Any]) -> None:
         """Fold another registry's :meth:`snapshot` into this one.
 
-        Counters and histogram statistics accumulate; gauges take the
-        merged snapshot's value (last merge wins, matching the
-        last-write-wins semantics of :meth:`gauge_set`).  Used to
-        propagate metrics recorded inside worker processes back into the
-        parent registry when a parallel map joins.
+        Counters accumulate.  Histograms merge exactly: summary stats
+        combine and log-bucket counts add element-wise, so the merged
+        state is independent of how samples were split across
+        snapshots.  Gauges follow their merge policy — ``last``
+        (default) takes the merged snapshot's value, ``max``/``min``
+        keep the extremum.  Used to propagate metrics recorded inside
+        worker processes back into the parent registry when a parallel
+        map joins.
         """
         for name, value in snapshot.get("counters", {}).items():
             self.counter_add(name, value)
+        policies = snapshot.get("gauge_policies", {})
         for name, value in snapshot.get("gauges", {}).items():
-            self.gauge_set(name, value)
-        for name, hist in snapshot.get("histograms", {}).items():
-            stats = self.histograms.get(name)
-            if stats is None:
-                self.histograms[name] = [
-                    float(hist["count"]),
-                    float(hist["sum"]),
-                    float(hist["min"]),
-                    float(hist["max"]),
-                ]
-            else:
-                stats[0] += hist["count"]
-                stats[1] += hist["sum"]
-                stats[2] = min(stats[2], hist["min"])
-                stats[3] = max(stats[3], hist["max"])
+            policy = policies.get(name, self.gauge_policies.get(name, "last"))
+            current = self.gauges.get(name)
+            if current is None or policy == "last":
+                merged = float(value)
+            elif policy == "max":
+                merged = max(current, float(value))
+            else:  # "min"
+                merged = min(current, float(value))
+            self.gauge_set(name, merged, merge=policy)
+        for name, hist_snap in snapshot.get("histograms", {}).items():
+            hist = self.histograms.get(name)
+            if hist is None:
+                hist = self.histograms[name] = _Histogram()
+            hist.merge(hist_snap)
 
     def snapshot(self) -> dict[str, Any]:
-        """JSON-ready dump of every metric."""
+        """JSON-ready dump of every metric.
+
+        Histogram entries carry count/sum/min/max/mean plus p50/p90/p99
+        (nearest-rank over bucket midpoints, clamped to the observed
+        range) and the raw ``buckets`` map used for exact merging.
+        """
         return {
             "counters": {k: self.counters[k] for k in sorted(self.counters)},
             "gauges": {k: self.gauges[k] for k in sorted(self.gauges)},
+            "gauge_policies": {
+                k: self.gauge_policies[k] for k in sorted(self.gauge_policies)
+            },
             "histograms": {
-                name: {
-                    "count": int(stats[0]),
-                    "sum": stats[1],
-                    "min": stats[2],
-                    "max": stats[3],
-                    "mean": stats[1] / stats[0] if stats[0] else 0.0,
-                }
-                for name, stats in sorted(self.histograms.items())
+                name: self.histograms[name].snapshot()
+                for name in sorted(self.histograms)
             },
         }
 
@@ -117,11 +256,15 @@ def counter_add(name: str, value: float = 1.0) -> None:
         registry.counter_add(name, value)
 
 
-def gauge_set(name: str, value: float) -> None:
-    """Set gauge ``name`` on the active registry (no-op if none)."""
+def gauge_set(name: str, value: float, merge: str = "last") -> None:
+    """Set gauge ``name`` on the active registry (no-op if none).
+
+    ``merge`` declares the cross-snapshot merge policy (``last``/``max``/
+    ``min``); see :class:`MetricsRegistry`.
+    """
     registry = _REGISTRY
     if registry is not None:
-        registry.gauge_set(name, value)
+        registry.gauge_set(name, value, merge=merge)
 
 
 def observe(name: str, value: float) -> None:

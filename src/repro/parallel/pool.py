@@ -41,6 +41,7 @@ from multiprocessing import shared_memory
 from typing import Any, Callable, Iterable
 
 from repro.obs.metrics import current_registry, metrics_enabled
+from repro.obs.monitor import current_monitor
 from repro.obs.trace import current_tracer, span, tracing_enabled
 from repro.parallel.shared import attach_untracked
 
@@ -144,12 +145,18 @@ def _worker_init() -> None:
     Under ``fork`` the child inherits the parent's installed tracer and
     registry; writing to those copies would be silently lost, so workers
     start clean and report through the explicit merge path instead.
+    The same goes for the resource monitor: the inherited object's
+    sampler thread did not survive the fork, so the global is cleared
+    and workers run their own short-lived monitor per task.
     """
     from repro.obs import metrics as _metrics
+    from repro.obs import monitor as _monitor
     from repro.obs import trace as _trace
 
     _trace._TRACER = None
     _metrics._REGISTRY = None
+    _monitor._MONITOR = None
+    _monitor._ACTIVE.clear()
     _CTX_CACHE["key"] = None
     _CTX_CACHE["value"] = None
 
@@ -175,19 +182,34 @@ def _resolve_context(ctx_ref: tuple | None) -> Any:
 
 
 def _run_task(payload: tuple) -> tuple[Any, dict[str, Any] | None]:
-    """Execute one task in a worker; capture obs state when requested."""
-    fn, task, ctx_ref, obs_on, label = payload
+    """Execute one task in a worker; capture obs state when requested.
+
+    When the parent had a :class:`~repro.obs.monitor.ResourceMonitor`
+    active, ``monitor_interval`` is its sampling interval and the task
+    runs under a worker-local monitor whose series (tagged
+    ``worker-<pid>``) ships back inside the obs payload.
+    """
+    fn, task, ctx_ref, obs_on, monitor_interval, label = payload
     context = _resolve_context(ctx_ref)
-    if not obs_on:
+    if not obs_on and monitor_interval is None:
         return fn(task, context), None
     from repro.obs.metrics import MetricsRegistry, install_registry, uninstall_registry
+    from repro.obs.monitor import ResourceMonitor
     from repro.obs.trace import Tracer, install_tracer, uninstall_tracer
 
     tracer = install_tracer(Tracer())
     registry = install_registry(MetricsRegistry())
+    monitor_series = None
     try:
         with tracer.start(label or getattr(fn, "__name__", "task"), {"pid": os.getpid()}):
-            result = fn(task, context)
+            if monitor_interval is not None:
+                with ResourceMonitor(
+                    interval_s=monitor_interval, tag=f"worker-{os.getpid()}"
+                ) as monitor:
+                    result = fn(task, context)
+                monitor_series = monitor.series()
+            else:
+                result = fn(task, context)
     finally:
         uninstall_tracer()
         uninstall_registry()
@@ -195,6 +217,8 @@ def _run_task(payload: tuple) -> tuple[Any, dict[str, Any] | None]:
         "metrics": registry.snapshot(),
         "spans": [root.to_dict() for root in tracer.roots],
     }
+    if monitor_series is not None:
+        obs_payload["monitor"] = monitor_series
     return result, obs_payload
 
 
@@ -287,8 +311,14 @@ class WorkerPool:
         if timeout is None:
             timeout = _CONFIG.map_timeout_s
         obs_on = tracing_enabled() or metrics_enabled()
+        parent_monitor = current_monitor()
+        monitor_interval = (
+            parent_monitor.interval_s if parent_monitor is not None else None
+        )
         ctx_ref, ctx_cleanup = self._prepare_context(context)
-        payloads = [(fn, task, ctx_ref, obs_on, name) for task in tasks]
+        payloads = [
+            (fn, task, ctx_ref, obs_on, monitor_interval, name) for task in tasks
+        ]
         with span("parallel.map", label=name, tasks=len(tasks), workers=self.workers):
             try:
                 raw = pool.map_async(_run_task, payloads).get(timeout)
@@ -342,3 +372,8 @@ class WorkerPool:
         tracer = current_tracer()
         if tracer is not None:
             tracer.adopt(obs_payload["spans"])
+        series = obs_payload.get("monitor")
+        if series is not None:
+            monitor = current_monitor()
+            if monitor is not None:
+                monitor.adopt_series(series)

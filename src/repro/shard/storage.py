@@ -39,6 +39,7 @@ import numpy as np
 
 from repro.obs import span
 from repro.obs.metrics import counter_add
+from repro.obs.monitor import heartbeat
 
 __all__ = [
     "ShardedCSR",
@@ -724,6 +725,12 @@ class ShardedCSRBuilder:
             triples["weight"] = weights[mask]
             triples.tofile(self._spill_files[int(s)])
         counter_add("shard.edges_written", total)
+        heartbeat(
+            "shard.stream_users",
+            self._next_user,
+            self.num_users,
+            edges=self._total_edges,
+        )
 
     def set_user_features(self, start: int, block: np.ndarray) -> None:
         self._set_features("user", start, block)
@@ -807,6 +814,7 @@ class ShardedCSRBuilder:
                     {"rows": int(len(rows)), "nnz": int(len(triples))}
                 )
                 spill_path.unlink()
+                heartbeat("shard.finalize", s + 1, self.num_shards)
 
             local_fraction = (
                 self._local_edges / self._total_edges if self._total_edges else 1.0

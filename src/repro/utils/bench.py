@@ -47,7 +47,19 @@ in-process smoke world in every mode, plus (``full`` mode only) a
 streamed million-vertex world measured in subprocess children so each
 side's peak RSS is isolated.
 
-:func:`load_report` still reads v1–v3 files.
+Schema v5 adds a top-level ``telemetry`` stamp (the resource-sampler
+interval and where peak-RSS figures come from) and switches the shard
+subprocess rows from ``getrusage`` high-water marks to the background
+:class:`~repro.obs.monitor.ResourceMonitor` time-series measured inside
+each child (``peak_rss_source`` says which).  v5 also introduces the
+regression sentinel: :func:`check_report` compares a fresh run against
+a recorded baseline row-by-row within a fractional tolerance, skipping
+rows the baseline machine cannot reproduce honestly (``degraded``
+hosts, mismatched ``workers_effective``), and
+:func:`render_check_table` renders the per-row delta table that
+``repro bench --check`` prints.
+
+:func:`load_report` still reads v1–v4 files.
 """
 
 from __future__ import annotations
@@ -62,13 +74,25 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro.obs.monitor import DEFAULT_INTERVAL_S
 from repro.utils.rng import ensure_rng
 
-SCHEMA = "repro/hotpath-bench/v4"
+SCHEMA = "repro/hotpath-bench/v5"
 SCHEMA_V1 = "repro/hotpath-bench/v1"
 SCHEMA_V2 = "repro/hotpath-bench/v2"
 SCHEMA_V3 = "repro/hotpath-bench/v3"
+SCHEMA_V4 = "repro/hotpath-bench/v4"
 DEFAULT_REPORT = "BENCH_hotpaths.json"
+
+# Fractional slowdown of ``after_s`` tolerated by ``check_report``
+# before a row counts as a regression.  Micro-benchmarks on shared CI
+# hosts jitter hard, so the default band is deliberately wide — the
+# sentinel exists to catch the 2x+ accidents, not 10% noise.
+CHECK_TOLERANCE = 0.5
+# Absolute slack added on top of the fractional band: rows timed in
+# hundreds of microseconds flap on scheduler noise alone, so a delta
+# smaller than this many seconds never regresses regardless of ratio.
+CHECK_MIN_DELTA_S = 0.005
 
 # (num_users, num_items, num_edges) per benchmarked graph.
 GRAPH_SIZES: dict[str, list[tuple[int, int, int]]] = {
@@ -114,12 +138,17 @@ __all__ = [
     "write_report",
     "load_report",
     "render_report",
+    "check_report",
+    "render_check_table",
     "git_commit",
     "SCHEMA",
     "SCHEMA_V1",
     "SCHEMA_V2",
     "SCHEMA_V3",
+    "SCHEMA_V4",
     "DEFAULT_REPORT",
+    "CHECK_TOLERANCE",
+    "CHECK_MIN_DELTA_S",
     "dense_footprint_mb",
 ]
 
@@ -583,6 +612,7 @@ def _bench_shard(
                     "speedup": round(dense["embed_s"] / sharded["embed_s"], 2),
                     "bitwise_equal": sharded["checksum"] == dense["checksum"],
                     "peak_rss_mb": sharded["peak_rss_mb"],
+                    "peak_rss_source": sharded.get("peak_rss_source", "rusage"),
                     "dense_peak_rss_mb": dense["peak_rss_mb"],
                     "dense_edge_list_mb": round(
                         dense_footprint_mb(
@@ -688,6 +718,10 @@ def bench_hotpaths(
         "cpu_count": os.cpu_count(),
         "python": platform.python_version(),
         "numpy": np.__version__,
+        "telemetry": {
+            "sampler_interval_s": DEFAULT_INTERVAL_S,
+            "peak_rss_source": "monitor",
+        },
         "benchmarks": {
             "embed_all": _bench_embed_all(mode, seed, repeats),
             "train_epoch": _bench_train_epoch(mode, seed, repeats),
@@ -708,23 +742,26 @@ def write_report(report: dict[str, Any], path: str | Path = DEFAULT_REPORT) -> P
 
 
 def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any]:
-    """Read a report, upgrading v1–v3 files to the v4 shape in memory.
+    """Read a report, upgrading v1–v4 files to the v5 shape in memory.
 
     v1 reports predate the commit stamp and throughput columns; v2
     reports predate the ``parallel``/``score_topk`` sections and the
     ``cpu_count``/``workers`` stamps; v3 reports predate the ``shard``
     section and the per-row ``workers_effective``/``degraded`` honesty
-    columns.  The loader fills the missing top-level fields with None
-    and leaves rows as-is (newer columns and sections are optional), so
-    consumers only handle one shape.
+    columns; v4 reports predate the ``telemetry`` stamp and the
+    monitor-measured ``peak_rss_source`` column.  The loader fills the
+    missing top-level fields with None and leaves rows as-is (newer
+    columns and sections are optional), so consumers only handle one
+    shape.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
-    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3):
+    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4):
         report["schema"] = SCHEMA
         report.setdefault("git_commit", None)
         report.setdefault("cpu_count", None)
         report.setdefault("workers", None)
+        report.setdefault("telemetry", None)
     elif schema != SCHEMA:
         raise ValueError(f"unknown bench report schema {schema!r} in {path}")
     return report
@@ -763,4 +800,170 @@ def render_report(report: dict[str, Any]) -> str:
                 f"{name:<20} {workload:<28} {row['before_s']:>9.4f}s "
                 f"{row['after_s']:>9.4f}s {row['speedup']:>7.2f}x {throughput:>16}"
             )
+    return "\n".join(lines)
+
+
+# Row fields that identify *what* was benchmarked (as opposed to the
+# measurements).  Together with the section name and graph shape they
+# form the key ``check_report`` matches rows on.
+_IDENTITY_FIELDS = (
+    "variant",
+    "n",
+    "dim",
+    "k",
+    "candidates",
+    "queries",
+    "batch",
+    "fanout",
+    "epochs",
+    "batch_size",
+    "n_init",
+    "num_shards",
+    "workers",
+)
+
+
+def _row_key(section: str, row: dict[str, Any]) -> str:
+    """Stable identity of one benchmark row across runs."""
+    parts = [section]
+    graph = row.get("graph")
+    if graph is not None:
+        parts.append(
+            f"g={graph['num_users']}x{graph['num_items']}e{graph['num_edges']}"
+        )
+    for field in _IDENTITY_FIELDS:
+        if field in row:
+            parts.append(f"{field}={row[field]}")
+    return " ".join(parts)
+
+
+def _row_skip_reason(
+    current: dict[str, Any], baseline: dict[str, Any]
+) -> str | None:
+    """Why this row pair cannot be compared honestly, or None."""
+    if current.get("degraded") or baseline.get("degraded"):
+        return "degraded host"
+    cur_eff = current.get("workers_effective")
+    base_eff = baseline.get("workers_effective")
+    if cur_eff != base_eff:
+        return f"workers_effective {base_eff} -> {cur_eff}"
+    return None
+
+
+def check_report(
+    current: dict[str, Any],
+    baseline: dict[str, Any],
+    tolerance: float = CHECK_TOLERANCE,
+    min_delta_s: float = CHECK_MIN_DELTA_S,
+) -> dict[str, Any]:
+    """Compare a fresh run against a recorded baseline, row by row.
+
+    Rows are matched by section plus identity fields (graph shape,
+    variant, n/k/workers, ...), so quick-vs-full grid differences simply
+    leave rows unmatched (``new``/``missing`` status) rather than
+    failing.  A matched row regresses when its ``after_s`` exceeds the
+    baseline by more than ``tolerance`` (fractional) *and* by more than
+    ``min_delta_s`` absolute — the floor keeps sub-millisecond rows from
+    flapping on scheduler noise.  Rows whose machines cannot be compared
+    honestly are skipped, never failed: a ``degraded`` flag on either
+    side (single-core host) or a ``workers_effective`` mismatch means
+    the baseline's parallel timings are not reproducible here.
+
+    Returns a dict with per-row status entries (``rows``), the keys that
+    regressed (``regressions``), and checked/skipped/unmatched tallies.
+    """
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be >= 0, got {tolerance}")
+    base_rows = {
+        _row_key(section, row): row
+        for section, rows in baseline.get("benchmarks", {}).items()
+        for row in rows
+    }
+    entries: list[dict[str, Any]] = []
+    regressions: list[str] = []
+    checked = skipped = unmatched = 0
+    for section, rows in current.get("benchmarks", {}).items():
+        for row in rows:
+            key = _row_key(section, row)
+            base = base_rows.pop(key, None)
+            entry: dict[str, Any] = {
+                "key": key,
+                "current_s": row.get("after_s"),
+                "baseline_s": base.get("after_s") if base else None,
+            }
+            if base is None:
+                entry["status"] = "new"
+                unmatched += 1
+            else:
+                reason = _row_skip_reason(row, base)
+                cur_s, base_s = row["after_s"], base["after_s"]
+                if base_s:
+                    entry["delta_pct"] = round(100.0 * (cur_s / base_s - 1), 1)
+                if reason is not None:
+                    entry["status"] = "skipped"
+                    entry["reason"] = reason
+                    skipped += 1
+                elif (
+                    cur_s > base_s * (1.0 + tolerance)
+                    and cur_s - base_s > min_delta_s
+                ):
+                    entry["status"] = "regression"
+                    regressions.append(key)
+                    checked += 1
+                else:
+                    entry["status"] = "ok"
+                    checked += 1
+            entries.append(entry)
+    for key, base in base_rows.items():
+        entries.append(
+            {
+                "key": key,
+                "current_s": None,
+                "baseline_s": base.get("after_s"),
+                "status": "missing",
+            }
+        )
+        unmatched += 1
+    return {
+        "tolerance": tolerance,
+        "min_delta_s": min_delta_s,
+        "baseline_commit": baseline.get("git_commit"),
+        "rows": entries,
+        "regressions": regressions,
+        "checked": checked,
+        "skipped": skipped,
+        "unmatched": unmatched,
+    }
+
+
+def render_check_table(result: dict[str, Any]) -> str:
+    """Plain-text delta table for one :func:`check_report` result."""
+    commit = result.get("baseline_commit")
+    lines = [
+        f"bench --check — tolerance +{result['tolerance'] * 100:.0f}% "
+        f"(abs floor {result['min_delta_s'] * 1000:.1f} ms, baseline commit "
+        f"{commit[:12] if commit else 'unknown'})",
+        f"{'status':<12} {'workload':<52} {'baseline':>10} {'current':>10} "
+        f"{'delta':>8}",
+    ]
+    for entry in sorted(
+        result["rows"], key=lambda e: (e["status"] != "regression", e["key"])
+    ):
+        base_s = entry.get("baseline_s")
+        cur_s = entry.get("current_s")
+        delta = entry.get("delta_pct")
+        status = entry["status"].upper() if entry["status"] == "regression" else entry["status"]
+        if entry.get("reason"):
+            status = f"{status} ({entry['reason']})"
+        lines.append(
+            f"{status:<12} {entry['key']:<52} "
+            f"{f'{base_s:.4f}s' if base_s is not None else '-':>10} "
+            f"{f'{cur_s:.4f}s' if cur_s is not None else '-':>10} "
+            f"{f'{delta:+.1f}%' if delta is not None else '':>8}"
+        )
+    lines.append(
+        f"{result['checked']} checked, {result['skipped']} skipped, "
+        f"{result['unmatched']} unmatched, "
+        f"{len(result['regressions'])} regression(s)"
+    )
     return "\n".join(lines)

@@ -46,3 +46,26 @@ def small_random_graph():
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_monitors():
+    """Fail any test that leaves a ResourceMonitor thread running.
+
+    The runtime twin of lint rule RPR304: monitors must die with their
+    owning ``with`` block.  Leaked ones are stopped here so one bad test
+    doesn't poison the rest of the session, then the test is failed.
+    """
+    from repro.obs import monitor as _monitor
+
+    installed_before = _monitor._MONITOR
+    yield
+    leaked = _monitor.active_monitors()
+    for mon in leaked:
+        mon.stop()
+    if _monitor._MONITOR is not installed_before:
+        _monitor._MONITOR = installed_before
+    assert not leaked, (
+        f"test leaked {len(leaked)} running ResourceMonitor(s); "
+        "use `with ResourceMonitor(...)` so sampling stops at block exit"
+    )

@@ -160,3 +160,64 @@ class TestAdHocRegistry:
             """
         )
         assert codes == []
+
+
+class TestUnownedMonitor:
+    def test_flags_monitor_assigned_and_started(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.obs import ResourceMonitor
+
+            def run():
+                mon = ResourceMonitor(interval_s=0.1)
+                mon.start()
+            """
+        )
+        assert codes == ["RPR304"]
+
+    def test_flags_qualified_inline_start(self, lint_codes):
+        codes = lint_codes(
+            """
+            import repro.obs
+
+            def run():
+                repro.obs.ResourceMonitor().start()
+            """
+        )
+        assert codes == ["RPR304"]
+
+    def test_with_block_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.obs import ResourceMonitor
+
+            def run():
+                with ResourceMonitor(interval_s=0.1) as mon:
+                    mon.sample_now()
+            """
+        )
+        assert codes == []
+
+    def test_enter_context_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            from contextlib import ExitStack
+
+            from repro.obs import ResourceMonitor
+
+            def run():
+                with ExitStack() as stack:
+                    mon = stack.enter_context(ResourceMonitor())
+                    mon.sample_now()
+            """
+        )
+        assert codes == []
+
+    def test_unrelated_attribute_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            def run(factory):
+                return factory.ResourceMonitor
+            """
+        )
+        assert codes == []

@@ -53,6 +53,80 @@ class TestRegistryMerge:
         parent.merge({})
         assert parent.snapshot() == before
 
+    def test_histogram_merge_is_split_invariant(self):
+        """Merged histogram state is bitwise-identical however samples
+        were partitioned across registries (the workers=1 vs workers=4
+        determinism contract, exercised in-process)."""
+        samples = [float(v) for v in (3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8)]
+        serial = MetricsRegistry()
+        for v in samples:
+            serial.observe("lat", v)
+        for split in (1, 3, 4):
+            parent = MetricsRegistry()
+            chunk = (len(samples) + split - 1) // split
+            for start in range(0, len(samples), chunk):
+                worker = MetricsRegistry()
+                for v in samples[start : start + chunk]:
+                    worker.observe("lat", v)
+                parent.merge(worker.snapshot())
+            assert parent.snapshot() == serial.snapshot()
+
+    def test_merge_accepts_json_roundtripped_buckets(self):
+        import json
+
+        worker = MetricsRegistry()
+        for v in (1.0, 2.0, 300.0):
+            worker.observe("lat", v)
+        snap = json.loads(json.dumps(worker.snapshot()))  # int keys -> str
+        parent = MetricsRegistry()
+        parent.merge(snap)
+        assert parent.snapshot() == worker.snapshot()
+
+    def test_merge_tolerates_bucketless_snapshot(self):
+        """Snapshots from the pre-percentile schema (no ``buckets``)
+        still merge: stats fold exactly, counts land in the mean's
+        bucket so quantiles stay defined."""
+        parent = MetricsRegistry()
+        parent.merge(
+            {"histograms": {"lat": {"count": 4, "sum": 8.0, "min": 1.0, "max": 3.0}}}
+        )
+        hist = parent.snapshot()["histograms"]["lat"]
+        assert hist["count"] == 4
+        assert hist["mean"] == 2.0
+        assert 1.0 <= hist["p50"] <= 3.0
+        assert sum(hist["buckets"].values()) == 4
+
+    def test_gauge_max_policy_survives_merge(self):
+        parent = MetricsRegistry()
+        parent.gauge_set("peak_rss", 100.0, merge="max")
+        worker = MetricsRegistry()
+        worker.gauge_set("peak_rss", 250.0, merge="max")
+        parent.merge(worker.snapshot())
+        assert parent.gauges["peak_rss"] == 250.0
+        # A later, smaller worker peak must not clobber the high-water mark.
+        small = MetricsRegistry()
+        small.gauge_set("peak_rss", 50.0, merge="max")
+        parent.merge(small.snapshot())
+        assert parent.gauges["peak_rss"] == 250.0
+
+    def test_gauge_min_policy_survives_merge(self):
+        parent = MetricsRegistry()
+        parent.gauge_set("free_mb", 500.0, merge="min")
+        worker = MetricsRegistry()
+        worker.gauge_set("free_mb", 120.0, merge="min")
+        parent.merge(worker.snapshot())
+        assert parent.gauges["free_mb"] == 120.0
+
+    def test_gauge_policy_carried_by_snapshot_alone(self):
+        """The parent never wrote the gauge itself: the worker snapshot's
+        declared policy governs the merge."""
+        parent = MetricsRegistry()
+        for value in (300.0, 100.0):
+            worker = MetricsRegistry()
+            worker.gauge_set("peak_rss", value, merge="max")
+            parent.merge(worker.snapshot())
+        assert parent.gauges["peak_rss"] == 300.0
+
 
 def _finished_tree():
     """A two-level finished span forest on a throwaway tracer."""

@@ -41,6 +41,77 @@ class TestRegistry:
         json.dumps(snap)  # must be serialisable
 
 
+class TestPercentileHistograms:
+    def test_snapshot_reports_percentiles(self):
+        reg = MetricsRegistry()
+        for v in range(1, 101):
+            reg.observe("lat", float(v))
+        snap = reg.snapshot()["histograms"]["lat"]
+        for key in ("p50", "p90", "p99"):
+            assert key in snap
+        # Log buckets bound relative error at ~1/16 of the value.
+        assert snap["p50"] == pytest.approx(50.0, rel=0.10)
+        assert snap["p90"] == pytest.approx(90.0, rel=0.10)
+        assert snap["p99"] == pytest.approx(99.0, rel=0.10)
+        assert snap["min"] <= snap["p50"] <= snap["p90"] <= snap["p99"] <= snap["max"]
+
+    def test_percentiles_clamped_to_observed_range(self):
+        reg = MetricsRegistry()
+        reg.observe("one", 7.0)
+        snap = reg.snapshot()["histograms"]["one"]
+        assert snap["p50"] == snap["p90"] == snap["p99"] == 7.0
+
+    def test_nonpositive_values_share_sentinel_bucket(self):
+        reg = MetricsRegistry()
+        for v in (-2.0, 0.0, 4.0):
+            reg.observe("signed", v)
+        snap = reg.snapshot()["histograms"]["signed"]
+        assert snap["count"] == 3
+        assert snap["min"] == -2.0
+        assert snap["max"] == 4.0
+        # p50 falls in the non-positive sentinel bucket, clamped >= min.
+        assert -2.0 <= snap["p50"] <= 0.0
+
+    def test_bucket_counts_are_exact_integers(self):
+        reg = MetricsRegistry()
+        for _ in range(5):
+            reg.observe("same", 3.0)
+        buckets = reg.snapshot()["histograms"]["same"]["buckets"]
+        assert list(buckets.values()) == [5]
+
+    def test_bucket_index_deterministic_across_magnitudes(self):
+        from repro.obs.metrics import bucket_index, bucket_value
+
+        for v in (1e-9, 0.1, 1.0, 3.7, 1024.0, 1e12):
+            idx = bucket_index(v)
+            assert bucket_index(v) == idx
+            rep = bucket_value(idx)
+            assert rep == pytest.approx(v, rel=1.0 / 16)
+
+
+class TestGaugePolicies:
+    def test_default_policy_not_recorded(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("depth", 3.0)
+        assert reg.snapshot()["gauge_policies"] == {}
+
+    def test_max_policy_recorded_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("peak", 10.0, merge="max")
+        assert reg.snapshot()["gauge_policies"] == {"peak": "max"}
+
+    def test_unknown_policy_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.gauge_set("g", 1.0, merge="sum")
+
+    def test_local_set_is_still_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge_set("peak", 10.0, merge="max")
+        reg.gauge_set("peak", 4.0, merge="max")
+        assert reg.gauges["peak"] == 4.0  # policy governs merge, not set
+
+
 class TestModuleFastPath:
     def test_disabled_calls_are_noops(self):
         assert not obs.metrics_enabled()

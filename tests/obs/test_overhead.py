@@ -47,6 +47,20 @@ def test_disabled_observe_value_is_cheap():
     assert per_call < DISABLED_BUDGET_S
 
 
+def test_disabled_heartbeat_is_cheap():
+    assert not obs.monitoring_enabled()
+    per_call = _per_call(lambda: obs.heartbeat("guard.progress", 1, 10))
+    assert per_call < DISABLED_BUDGET_S
+
+
+def test_enabled_observe_value_is_bounded():
+    # Log-bucketing (frexp + dict update) must stay near-free relative
+    # to the numpy work the sample describes.
+    with obs.observe():
+        per_call = _per_call(lambda: obs.observe_value("h", 3.7), calls=10_000)
+    assert per_call < ENABLED_BUDGET_S
+
+
 def test_enabled_paths_are_bounded():
     # Sanity ceiling only: enabled instrumentation must stay far below
     # the cost of the numpy work it wraps.

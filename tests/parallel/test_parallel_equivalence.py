@@ -47,6 +47,26 @@ class TestEmbedAllEquivalence:
         assert active_segment_names() == set()
 
 
+class TestObsStateEquivalence:
+    def test_histogram_state_identical_across_worker_counts(self):
+        """Worker-merged histogram state (counts, sums, buckets and the
+        derived percentiles) is identical at workers=1 and workers=4 —
+        the ISSUE-4 bitwise contract extended to metrics."""
+        from repro import obs
+
+        snaps = {}
+        for workers in (1, 4):
+            with obs.observe() as session:
+                _sage_embeddings(workers=workers)
+            snaps[workers] = session.registry.snapshot()
+        h1 = snaps[1]["histograms"]
+        h4 = snaps[4]["histograms"]
+        assert "sage.frontier_size" in h1
+        assert h1 == h4
+        assert snaps[1]["counters"] == snaps[4]["counters"]
+        assert active_segment_names() == set()
+
+
 class TestKMeansEquivalence:
     @pytest.mark.parametrize("algorithm", ["lloyd", "minibatch", "single_pass"])
     def test_restarts_bitwise_identical(self, algorithm):

@@ -24,11 +24,14 @@ def _run_traced(tmp_path, argv):
     trace = tmp_path / "trace.json"
     assert main(argv + ["--trace", str(trace)]) == 0
     data = json.loads(trace.read_text())
-    assert data["traceEvents"], "trace must contain spans"
-    for event in data["traceEvents"]:
-        assert event["ph"] == "X" and event["dur"] >= 0
+    # Span events only: a --progress run adds monitor counter events
+    # (ph="C"), which the flat trace deliberately omits.
+    spans = [e for e in data["traceEvents"] if e["ph"] == "X"]
+    assert spans, "trace must contain spans"
+    for event in spans:
+        assert event["dur"] >= 0
     flat = json.loads((tmp_path / "trace.flat.json").read_text())
-    assert len(flat["spans"]) == len(data["traceEvents"])
+    assert len(flat["spans"]) == len(spans)
     return data
 
 
@@ -114,6 +117,14 @@ class TestObsFlags:
             for h in root.handlers
         )
 
+    def test_metrics_flag_parsed(self):
+        args = build_parser().parse_args(["stats", "--metrics", "m.json"])
+        assert args.metrics == "m.json"
+
+    def test_progress_flag_parsed(self):
+        args = build_parser().parse_args(["table3", "--progress"])
+        assert args.progress is True
+
     def test_log_level_reaches_training_output(self, capsys):
         # table3 with hignn trains SageTrainer, whose per-epoch progress
         # was previously swallowed by the NullHandler; with --log-level
@@ -124,3 +135,54 @@ class TestObsFlags:
         ) == 0
         err = capsys.readouterr().err
         assert "repro.core" in err and "mean loss" in err
+
+
+class TestMetricsFlag:
+    def test_metrics_writes_final_snapshot(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(["stats", "--size", "tiny", "--metrics", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro/trace/v1"
+        assert {"counters", "gauges", "histograms"} <= set(doc["metrics"])
+
+    def test_metrics_histograms_carry_percentiles(self, tmp_path):
+        path = tmp_path / "metrics.json"
+        assert main(
+            ["table3", "--size", "tiny", "--methods", "hignn", "--epochs", "1",
+             "--levels", "1", "--metrics", str(path)]
+        ) == 0
+        doc = json.loads(path.read_text())
+        hists = doc["metrics"]["histograms"]
+        assert hists, "training must record at least one histogram"
+        for stats in hists.values():
+            assert {"p50", "p90", "p99"} <= set(stats)
+
+    def test_metrics_composes_with_trace(self, tmp_path, capsys):
+        trace = tmp_path / "trace.json"
+        metrics = tmp_path / "metrics.json"
+        assert main(
+            ["stats", "--size", "tiny", "--trace", str(trace),
+             "--metrics", str(metrics)]
+        ) == 0
+        assert json.loads(trace.read_text())["traceEvents"]
+        assert json.loads(metrics.read_text())["metrics"]
+
+
+class TestProgressFlag:
+    def test_progress_renders_heartbeat_line(self, capsys):
+        assert main(
+            ["table3", "--size", "tiny", "--methods", "hignn", "--epochs", "2",
+             "--levels", "1", "--progress"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "\r[" in err, "expected a \\r-rewritten heartbeat status line"
+        assert err.endswith("\n"), "progress line must be sealed with a newline"
+
+    def test_progress_leaves_no_running_monitor(self):
+        from repro.obs import active_monitors, current_monitor
+
+        assert main(
+            ["stats", "--size", "tiny", "--progress"]
+        ) == 0
+        assert not active_monitors()
+        assert current_monitor() is None

@@ -1,0 +1,219 @@
+"""The bench regression sentinel: ``check_report`` / ``repro bench --check``.
+
+Unit tests drive :func:`check_report` on synthetic reports (row
+matching, tolerance bands, honesty skips); the CLI tests run the real
+``bench --check`` wiring on a shrunken workload grid, including a
+deliberately slowed hot path that must flip the exit code.
+"""
+
+import copy
+
+import pytest
+
+from repro.utils.bench import (
+    CHECK_MIN_DELTA_S,
+    CHECK_TOLERANCE,
+    SCHEMA,
+    check_report,
+    render_check_table,
+)
+
+
+def _report(**sections) -> dict:
+    """A minimal v5-shaped report with the given benchmark sections."""
+    return {
+        "schema": SCHEMA,
+        "git_commit": "a" * 40,
+        "mode": "quick",
+        "seed": 0,
+        "benchmarks": sections,
+    }
+
+
+def _row(after_s: float, **identity) -> dict:
+    return {"before_s": after_s * 2, "after_s": after_s, "speedup": 2.0, **identity}
+
+
+class TestCheckReport:
+    def test_identical_reports_have_no_regressions(self):
+        rep = _report(
+            embed_all=[_row(0.5, graph={"num_users": 9, "num_items": 4, "num_edges": 20})],
+            kmeans=[_row(0.2, variant="single_pass", n=50, dim=4, k=3)],
+        )
+        result = check_report(rep, copy.deepcopy(rep))
+        assert result["regressions"] == []
+        assert result["checked"] == 2
+        assert result["skipped"] == 0 and result["unmatched"] == 0
+
+    def test_slowdown_beyond_tolerance_regresses(self):
+        base = _report(kmeans=[_row(0.2, variant="single_pass", n=50, dim=4, k=3)])
+        cur = copy.deepcopy(base)
+        cur["benchmarks"]["kmeans"][0]["after_s"] = 0.5  # +150%, +300 ms
+        result = check_report(cur, base)
+        assert len(result["regressions"]) == 1
+        assert "single_pass" in result["regressions"][0]
+        entry = result["rows"][0]
+        assert entry["status"] == "regression"
+        assert entry["delta_pct"] == pytest.approx(150.0)
+
+    def test_slowdown_within_tolerance_passes(self):
+        base = _report(kmeans=[_row(0.2, variant="single_pass", n=50, dim=4, k=3)])
+        cur = copy.deepcopy(base)
+        cur["benchmarks"]["kmeans"][0]["after_s"] = 0.2 * (1 + CHECK_TOLERANCE) * 0.99
+        result = check_report(cur, base)
+        assert result["regressions"] == []
+
+    def test_absolute_floor_shields_microsecond_rows(self):
+        # 5x slower but only +0.4 ms — scheduler noise, never a regression.
+        base = _report(kmeans=[_row(0.0001, variant="single_pass", n=50, dim=4, k=3)])
+        cur = copy.deepcopy(base)
+        cur["benchmarks"]["kmeans"][0]["after_s"] = 0.0005
+        assert 0.0005 - 0.0001 < CHECK_MIN_DELTA_S
+        result = check_report(cur, base)
+        assert result["regressions"] == []
+
+    def test_degraded_row_skipped_not_failed(self):
+        base = _report(
+            parallel=[
+                _row(0.1, variant="kmeans_restarts", n=50, k=3, workers=4,
+                     workers_effective=4, degraded=False)
+            ]
+        )
+        cur = copy.deepcopy(base)
+        row = cur["benchmarks"]["parallel"][0]
+        row.update(after_s=5.0, degraded=True, workers_effective=1)
+        result = check_report(cur, base)
+        assert result["regressions"] == []
+        assert result["skipped"] == 1
+        assert result["rows"][0]["status"] == "skipped"
+        assert "degraded" in result["rows"][0]["reason"]
+
+    def test_workers_effective_mismatch_skipped(self):
+        base = _report(
+            parallel=[
+                _row(0.1, variant="kmeans_restarts", n=50, k=3, workers=4,
+                     workers_effective=4, degraded=False)
+            ]
+        )
+        cur = copy.deepcopy(base)
+        cur["benchmarks"]["parallel"][0].update(after_s=5.0, workers_effective=2)
+        result = check_report(cur, base)
+        assert result["regressions"] == []
+        assert "workers_effective" in result["rows"][0]["reason"]
+
+    def test_grid_mismatch_rows_are_unmatched_not_failed(self):
+        # quick-vs-full grids: extra current rows are "new", baseline-only
+        # rows are "missing"; neither fails the check.
+        base = _report(
+            embed_all=[
+                _row(0.5, graph={"num_users": 9, "num_items": 4, "num_edges": 20}),
+                _row(9.0, graph={"num_users": 900, "num_items": 400, "num_edges": 2000}),
+            ]
+        )
+        cur = _report(
+            embed_all=[
+                _row(0.5, graph={"num_users": 9, "num_items": 4, "num_edges": 20}),
+                _row(7.0, graph={"num_users": 77, "num_items": 40, "num_edges": 200}),
+            ]
+        )
+        result = check_report(cur, base)
+        assert result["regressions"] == []
+        assert result["unmatched"] == 2
+        statuses = {e["status"] for e in result["rows"]}
+        assert {"ok", "new", "missing"} <= statuses
+
+    def test_negative_tolerance_rejected(self):
+        rep = _report(kmeans=[_row(0.2, variant="single_pass", n=50, dim=4, k=3)])
+        with pytest.raises(ValueError):
+            check_report(rep, rep, tolerance=-0.1)
+
+
+class TestRenderCheckTable:
+    def test_table_lists_regressions_first_with_deltas(self):
+        base = _report(
+            kmeans=[_row(0.2, variant="single_pass", n=50, dim=4, k=3)],
+            embed_all=[_row(0.5, graph={"num_users": 9, "num_items": 4, "num_edges": 20})],
+        )
+        cur = copy.deepcopy(base)
+        cur["benchmarks"]["kmeans"][0]["after_s"] = 0.8
+        text = render_check_table(check_report(cur, base))
+        lines = text.splitlines()
+        assert lines[2].startswith("REGRESSION")
+        assert "+300.0%" in lines[2]
+        assert "1 regression(s)" in lines[-1]
+        assert "baseline commit aaaaaaaaaaaa" in lines[0]
+
+    def test_skip_reason_rendered(self):
+        base = _report(
+            parallel=[
+                _row(0.1, variant="kmeans_restarts", n=50, k=3, workers=4,
+                     workers_effective=4, degraded=True)
+            ]
+        )
+        text = render_check_table(check_report(copy.deepcopy(base), base))
+        assert "skipped (degraded host)" in text
+
+
+class TestCliBenchCheck:
+    @pytest.fixture()
+    def tiny_grids(self, monkeypatch):
+        from repro.utils import bench
+
+        monkeypatch.setitem(bench.GRAPH_SIZES, "quick", [(40, 30, 120)])
+        monkeypatch.setitem(bench.KMEANS_SIZES, "quick", [(60, 4, 5)])
+        monkeypatch.setitem(bench.SCORE_SIZES, "quick", [(40, 30, 5, 10)])
+        monkeypatch.setitem(bench.PARALLEL_SCORE_SIZES, "quick", (32, 12, 8))
+        monkeypatch.setitem(
+            bench.SHARD_SIZES,
+            "quick",
+            [{"users": 120, "items": 90, "clusters": 6, "shards": 3, "degree": 4.0}],
+        )
+
+    def test_check_against_own_baseline_exits_zero(self, tiny_grids, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--mode", "quick", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+        code = main(["bench", "--mode", "quick", "--repeats", "1",
+                     "--check", "--baseline", str(out)])
+        printed = capsys.readouterr().out
+        assert code == 0
+        assert "bench --check" in printed
+        assert "ok: no regressions" in printed
+
+    def test_slowed_hot_path_flips_exit_code(self, tiny_grids, tmp_path, capsys,
+                                             monkeypatch):
+        import time
+
+        from repro.cli import main
+        from repro.serving.recommend import ScoreTableRecommender
+
+        out = tmp_path / "bench.json"
+        assert main(["bench", "--mode", "quick", "--repeats", "1",
+                     "--out", str(out)]) == 0
+        capsys.readouterr()
+
+        slow = ScoreTableRecommender.recommend
+
+        def crippled(self, user, k):
+            time.sleep(0.002)
+            return slow(self, user, k)
+
+        monkeypatch.setattr(ScoreTableRecommender, "recommend", crippled)
+        code = main(["bench", "--mode", "quick", "--repeats", "1",
+                     "--check", "--baseline", str(out)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "REGRESSION" in captured.out
+        assert "score_topk" in captured.out
+        assert "row(s) slower than baseline" in captured.err
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        from repro.cli import main
+
+        code = main(["bench", "--mode", "quick", "--repeats", "1",
+                     "--check", "--baseline", str(tmp_path / "absent.json")])
+        assert code == 2
+        assert "cannot load baseline" in capsys.readouterr().err
