@@ -13,6 +13,11 @@ hard map timeout so a wedged pool fails the run instead of hanging it.
 No parallel *speedup* is asserted: fan-out can only win when
 ``os.cpu_count()`` exceeds the pool size, which CI boxes don't promise
 (the tracked report records the honest number either way).
+
+The v6 ``serving`` section replays a zipf request stream through the
+streaming frontend (cached vs uncached), times a delta refresh against a
+full re-embed of the mutated graph, and times the vectorised serving-day
+simulation against its per-impression reference.
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ def test_hotpath_bench_writes_tracked_report(report):
         "parallel",
         "score_topk",
         "shard",
+        "serving",
     }
     for rows in benches.values():
         assert rows
@@ -79,6 +85,22 @@ def test_hotpath_bench_writes_tracked_report(report):
     assert benches["train_epoch"][-1]["speedup"] > 1.2
     # Lazy top-k beats ranking the whole table up front.
     assert benches["score_topk"][-1]["speedup"] > 1.0
+
+    # v6 serving section: one row per streaming-stack hot path, with the
+    # load-bench extras on the replay row.  No speedups asserted (cache
+    # wins depend on the zipf draw and host), only that the numbers are
+    # recorded and sane.
+    variants = {row["variant"] for row in benches["serving"]}
+    assert variants == {"replay", "delta_refresh", "run_day"}
+    replay = next(r for r in benches["serving"] if r["variant"] == "replay")
+    assert replay["req_per_sec"] > 0
+    assert 0.0 <= replay["hit_rate"] <= 1.0
+    assert replay["p99_ms"] >= replay["p50_ms"] >= 0.0
+    refresh = next(
+        r for r in benches["serving"] if r["variant"] == "delta_refresh"
+    )
+    assert refresh["refresh_mode"] in {"delta", "full"}
+    assert 0.0 <= refresh["recompute_fraction"] <= 1.0
 
 
 def test_bench_check_against_committed_baseline(request, report):

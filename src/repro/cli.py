@@ -8,6 +8,7 @@ Usage::
     python -m repro.cli ab      [--size tiny]  [--days 2] [--seed 0]
     python -m repro.cli bench   [--mode quick] [--out BENCH_hotpaths.json]
     python -m repro.cli shard   [--users N] [--mode sharded|dense] [--json]
+    python -m repro.cli serve   [--rounds 4] [--requests 400] [--json]
     python -m repro.cli lint    [PATHS ...] [--format json] [--write-baseline]
 
 Each subcommand regenerates one of the paper's experiments at the
@@ -145,6 +146,70 @@ def build_parser() -> argparse.ArgumentParser:
     _obs_flags(shard)
     _workers_flag(shard)
     _logging_flags(shard)
+
+    serve = sub.add_parser(
+        "serve",
+        help="streaming serving demo: ingest edges, delta-refresh, serve slates",
+    )
+    serve.add_argument("--users", type=int, default=600)
+    serve.add_argument("--items", type=int, default=400)
+    serve.add_argument("--edges", type=int, default=3600)
+    serve.add_argument("--rounds", type=int, default=4)
+    serve.add_argument(
+        "--requests", type=int, default=400, help="requests served per round"
+    )
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--cache-size", type=int, default=4096)
+    serve.add_argument("--microbatch", type=int, default=64)
+    serve.add_argument(
+        "--batch-size", type=int, default=256, help="embedding chunk size"
+    )
+    serve.add_argument(
+        "--degrade-threshold",
+        type=float,
+        default=0.25,
+        metavar="FRAC",
+        help="recompute fraction above which a delta refresh degrades to "
+        "a full pass (1.0 = never degrade)",
+    )
+    serve.add_argument(
+        "--delta-edges",
+        type=int,
+        default=2,
+        help="random interaction edges ingested per round",
+    )
+    serve.add_argument(
+        "--new-users",
+        type=int,
+        default=1,
+        help="cold-start users added per round (served via fallback)",
+    )
+    serve.add_argument(
+        "--refresh-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="delta-refresh embeddings at the end of every N-th round "
+        "(0 = never; rely on --refresh-threshold)",
+    )
+    serve.add_argument(
+        "--refresh-threshold",
+        type=float,
+        default=None,
+        metavar="FRAC",
+        help="dirty fraction above which serve() auto-refreshes before "
+        "answering (default: off)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print a machine-readable report",
+    )
+    _obs_flags(serve)
+    _workers_flag(serve)
+    _logging_flags(serve)
 
     lint = sub.add_parser(
         "lint", help="static analysis: determinism / fork-safety / obs hygiene"
@@ -486,6 +551,151 @@ def _shard_run(args: argparse.Namespace, path, monitor) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a simulated streaming serving session.
+
+    Each round ingests a few interaction edges and cold-start users,
+    serves a zipf-tilted request stream through the micro-batched
+    :class:`~repro.streaming.ServingFrontend` (cold users fall back to a
+    popularity recommender), then delta-refreshes the embeddings so the
+    next round serves them warm.  Prints one row per round plus a
+    summary; ``--metrics`` additionally captures the serving latency
+    histogram and cache counters.
+    """
+    import json
+    import time
+
+    from repro.core.sage import BipartiteGraphSAGE
+    from repro.graph.generators import random_bipartite
+    from repro.serving.recommend import PopularityRecommender
+    from repro.streaming import ServingFrontend, StreamingEmbedder
+    from repro.utils.config import SageConfig
+    from repro.utils.rng import ensure_rng
+
+    feature_dim = 8
+    graph = random_bipartite(
+        args.users, args.items, args.edges, feature_dim=feature_dim, rng=args.seed
+    )
+    model = BipartiteGraphSAGE(
+        feature_dim,
+        feature_dim,
+        SageConfig(embedding_dim=16, neighbor_samples=(10, 5)),
+        rng=args.seed,
+    )
+    embedder = StreamingEmbedder(
+        model,
+        sample_seed=args.seed,
+        batch_size=args.batch_size,
+        degrade_threshold=args.degrade_threshold,
+    )
+    degrees = np.zeros(args.items)
+    np.add.at(degrees, graph.edges[:, 1], 1.0)
+    fallback = PopularityRecommender(degrees, np.arange(args.items))
+    frontend = ServingFrontend(
+        graph,
+        embedder,
+        fallback=fallback,
+        cache_size=args.cache_size,
+        microbatch=args.microbatch,
+        refresh_dirty_threshold=args.refresh_threshold,
+    )
+    t0 = time.perf_counter()
+    frontend.warm(workers=args.workers)
+    warm_s = time.perf_counter() - t0
+
+    rng = ensure_rng(args.seed + 1)
+    rounds: list[dict] = []
+    total_requests = 0
+    total_serve_s = 0.0
+    for rnd in range(1, args.rounds + 1):
+        if args.delta_edges:
+            edges = np.stack(
+                [
+                    rng.integers(0, frontend.graph.num_users, args.delta_edges),
+                    rng.integers(0, frontend.graph.num_items, args.delta_edges),
+                ],
+                axis=1,
+            )
+            frontend.ingest(edges)
+        new_ids: list[int] = []
+        if args.new_users:
+            new_ids = frontend.graph.add_users(
+                args.new_users,
+                features=rng.normal(size=(args.new_users, feature_dim)),
+            )
+        users = (rng.zipf(1.5, size=args.requests) - 1) % args.users
+        if new_ids:
+            # Route the fresh users' first requests into this round so
+            # the cold-start fallback path is actually exercised.
+            users[: len(new_ids)] = new_ids
+        warm_count = len(frontend.embedder.embeddings[0])
+        cold_requests = int((users >= warm_count).sum())
+        t0 = time.perf_counter()
+        frontend.serve(users, args.k)
+        serve_s = time.perf_counter() - t0
+        total_requests += len(users)
+        total_serve_s += serve_s
+        row = {
+            "round": rnd,
+            "ingested_edges": int(args.delta_edges),
+            "new_users": len(new_ids),
+            "cold_requests": cold_requests,
+            "requests": len(users),
+            "serve_s": round(serve_s, 4),
+            "req_per_sec": round(len(users) / serve_s, 1) if serve_s else None,
+            "hit_rate": round(frontend.hit_rate, 3),
+        }
+        if args.refresh_every and rnd % args.refresh_every == 0:
+            stats = frontend.refresh(workers=args.workers)
+            row["refresh_mode"] = stats.mode
+            row["recompute_fraction"] = round(stats.recompute_fraction, 3)
+        rounds.append(row)
+
+    report = {
+        "graph": {
+            "num_users": args.users,
+            "num_items": args.items,
+            "num_edges": args.edges,
+        },
+        "warm_s": round(warm_s, 4),
+        "rounds": rounds,
+        "total_requests": total_requests,
+        "req_per_sec": (
+            round(total_requests / total_serve_s, 1) if total_serve_s else None
+        ),
+        "hit_rate": round(frontend.hit_rate, 3),
+        "cache_evictions": frontend.cache.evictions,
+        "compactions": frontend.graph.compactions,
+    }
+    if args.as_json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+        return 0
+    print(
+        f"warmed {args.users}x{args.items} graph ({args.edges} edges) "
+        f"in {report['warm_s']}s"
+    )
+    header = (
+        f"{'round':>5} {'edges':>6} {'new':>4} {'cold':>5} {'reqs':>6} "
+        f"{'req/s':>10} {'hit':>6} {'refresh':>8} {'frac':>6}"
+    )
+    print(header)
+    for row in rounds:
+        print(
+            f"{row['round']:>5} {row['ingested_edges']:>6} {row['new_users']:>4} "
+            f"{row['cold_requests']:>5} {row['requests']:>6} "
+            f"{row['req_per_sec']:>10,.0f} {row['hit_rate']:>6.3f} "
+            f"{row.get('refresh_mode', '-'):>8} "
+            f"{row.get('recompute_fraction', float('nan')):>6.3f}"
+        )
+    print(
+        f"total: {total_requests} requests, {report['req_per_sec']:,.0f} req/s, "
+        f"hit rate {report['hit_rate']:.3f}, "
+        f"{report['cache_evictions']} evictions, "
+        f"{report['compactions']} compactions"
+    )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint.cli import cmd_lint as run
 
@@ -499,6 +709,7 @@ _COMMANDS = {
     "ab": cmd_ab,
     "bench": cmd_bench,
     "shard": cmd_shard,
+    "serve": cmd_serve,
     "lint": cmd_lint,
 }
 

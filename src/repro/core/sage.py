@@ -246,7 +246,16 @@ class BipartiteGraphSAGE(Module):
         in-process).  Chunk boundaries, sampling order and reduction
         order are independent of the worker count, so the result is
         bitwise identical for any ``workers`` given the same seed.
+
+        ``mode="streaming"`` runs the same layer-wise computation
+        through the cached :class:`~repro.streaming.StreamingEmbedder`,
+        whose content-addressed per-chunk sampling makes the result the
+        exact reference for :meth:`refresh` (delta refresh after a
+        mutation is bitwise-identical to this mode on the mutated
+        graph).
         """
+        if mode == "streaming":
+            return self.streaming_embedder().full_embed(graph, workers=workers)
         if mode not in {"layerwise", "recursive"}:
             raise ValueError(f"unknown embed_all mode {mode!r}")
         if not isinstance(graph, BipartiteGraph):
@@ -320,6 +329,57 @@ class BipartiteGraphSAGE(Module):
             )
         self.train()
         return users, items
+
+    # ------------------------------------------------------------------
+    # Streaming refresh (delegates to repro.streaming, imported lazily)
+    # ------------------------------------------------------------------
+    def streaming_embedder(
+        self,
+        sample_seed: int = 0,
+        batch_size: int = 2048,
+        degrade_threshold: float = 0.25,
+    ):
+        """The cached :class:`~repro.streaming.StreamingEmbedder` for
+        this model (rebuilt when the parameters change)."""
+        from repro.streaming.refresh import StreamingEmbedder
+
+        cached = getattr(self, "_streaming", None)
+        if (
+            cached is None
+            or cached.sample_seed != int(sample_seed)
+            or cached.batch_size != int(batch_size)
+            or cached.degrade_threshold != float(degrade_threshold)
+        ):
+            cached = StreamingEmbedder(
+                self,
+                sample_seed=sample_seed,
+                batch_size=batch_size,
+                degrade_threshold=degrade_threshold,
+            )
+            self._streaming = cached
+        return cached
+
+    def refresh(
+        self,
+        graph,
+        dirty_users: np.ndarray | None = None,
+        dirty_items: np.ndarray | None = None,
+        workers: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Delta-aware update of the ``mode="streaming"`` embeddings.
+
+        After the graph gained edges/vertices, recomputes only the
+        chunks containing the P-hop out-neighbourhood of the dirty
+        vertices — bitwise-identical to ``embed_all(mutated_graph,
+        mode="streaming")`` at any worker count.  Accepts an
+        :class:`~repro.streaming.IncrementalBipartiteGraph` (dirty
+        frontier consumed and cleared) or a plain graph plus explicit
+        dirty id arrays.  Stats land on
+        ``self.streaming_embedder().last_stats``.
+        """
+        return self.streaming_embedder().refresh(
+            graph, dirty_users, dirty_items, workers=workers
+        )
 
     # ------------------------------------------------------------------
     # Internals

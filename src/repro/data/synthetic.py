@@ -141,6 +141,45 @@ class GroundTruth:
             score += cfg.purchase_new_item_penalty
         return float(_sigmoid(score))
 
+    def click_probabilities(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`click_probability` over one user's slate.
+
+        Element-for-element identical to the scalar oracle (same IEEE
+        double expressions, evaluated per item) — the serving loop draws
+        one uniform vector per slate against this.
+        """
+        items = np.asarray(items, dtype=np.int64)
+        affinity = self.user_affinity[user, self.item_leaf_index[items]]
+        best = max(float(self.user_affinity[user].max()), 1e-12)
+        return _sigmoid(-3.2 + 2.8 * affinity / best)
+
+    def purchase_probabilities(self, user: int, items: np.ndarray) -> np.ndarray:
+        """Vectorised :meth:`purchase_probability` over one user's slate."""
+        items = np.asarray(items, dtype=np.int64)
+        cfg = self.config
+        leaf_idx = self.item_leaf_index[items]
+        leaf_aff = self.user_affinity[user, leaf_idx]
+        # Parent affinity summed once per distinct leaf in the slate,
+        # through the same gathered-subset sum as the scalar oracle so
+        # the values match bitwise.
+        parent_aff = np.empty(len(items), dtype=np.float64)
+        for leaf in np.unique(self.item_leaf[items]):
+            siblings = self._sibling_leaf_indices(int(leaf))
+            parent_aff[self.item_leaf[items] == leaf] = float(
+                self.user_affinity[user, siblings].sum()
+            )
+        power_match = self.purchasing_power[user] * self.price_tier[items]
+        score = (
+            cfg.purchase_bias
+            + cfg.purchase_leaf_weight * leaf_aff / max(float(self.user_affinity[user].max()), 1e-12)
+            + cfg.purchase_parent_weight * parent_aff
+            + cfg.purchase_power_weight * power_match
+        )
+        score = np.where(
+            self.new_items[items], score + cfg.purchase_new_item_penalty, score
+        )
+        return _sigmoid(score)
+
     def _parent_affinity(self, user: int, item: int) -> float:
         """Summed affinity over the item's parent topic subtree."""
         leaf = int(self.item_leaf[item])

@@ -154,6 +154,75 @@ def check_unowned_monitor(
     )
 
 
+_CACHE_CLASS_SUFFIXES = ("Recommender", "Frontend")
+_DICT_FACTORY_NAMES = {"dict", "OrderedDict", "defaultdict", "Counter"}
+
+
+def _enclosing_class(node: ast.AST, ctx: ModuleContext) -> ast.ClassDef | None:
+    for ancestor in ctx.ancestors(node):
+        if isinstance(ancestor, ast.ClassDef):
+            return ancestor
+    return None
+
+
+def _is_serving_class(cls: ast.ClassDef) -> bool:
+    """A recommender/frontend by name, or by inheriting one."""
+    if cls.name.endswith(_CACHE_CLASS_SUFFIXES):
+        return True
+    for base in cls.bases:
+        name = dotted_name(base)
+        if name is not None and name.split(".")[-1].endswith(_CACHE_CLASS_SUFFIXES):
+            return True
+    return False
+
+
+def _is_dict_expr(value: ast.AST, ctx: ModuleContext) -> bool:
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        name = ctx.qualname(value.func)
+        return name is not None and name.split(".")[-1] in _DICT_FACTORY_NAMES
+    return False
+
+
+@rule(
+    code="RPR305",
+    name="unbounded-serving-cache",
+    severity=Severity.WARNING,
+    family="obs-hygiene",
+    description=(
+        "a dict used as a cache on a recommender/frontend class grows one "
+        "entry per distinct key and is never evicted — a memory leak under "
+        "production traffic; use repro.streaming.lru.LRUCache"
+    ),
+    nodes=(ast.Assign, ast.AnnAssign),
+)
+def check_unbounded_serving_cache(
+    node: ast.Assign | ast.AnnAssign, ctx: ModuleContext
+) -> Iterator[tuple[ast.AST, str]]:
+    value = node.value
+    if value is None or not _is_dict_expr(value, ctx):
+        return
+    targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+    for target in targets:
+        if not (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and "cache" in target.attr.lower()
+        ):
+            continue
+        cls = _enclosing_class(node, ctx)
+        if cls is None or not _is_serving_class(cls):
+            continue
+        yield target, (
+            f"self.{target.attr} on {cls.name} is a plain dict used as a "
+            "cache: it holds one entry per distinct key forever (unbounded "
+            "under real traffic) — use repro.streaming.lru.LRUCache with a "
+            "maxsize bound and eviction counters"
+        )
+
+
 @rule(
     code="RPR303",
     name="ad-hoc-registry",

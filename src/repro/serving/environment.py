@@ -85,7 +85,65 @@ class OnlineEnvironment:
         visitors: np.ndarray,
         slate_size: int = 10,
     ) -> ServingMetrics:
-        """Serve every visitor one slate and simulate the responses."""
+        """Serve every visitor one slate and simulate the responses.
+
+        Responses are drawn per *slate*, not per impression: one uniform
+        vector against the vectorised click oracle, then one uniform
+        vector (over the clicked items only) against the purchase
+        oracle.  Seeded runs are reproducible, but the RNG stream is two
+        ``rng.random(n)`` calls per slate — it intentionally differs
+        from the retained per-impression reference
+        (:meth:`_run_day_loop`), which draws scalars interleaved
+        click/purchase per item.  The two are distributionally
+        identical: each impression still consumes an independent uniform
+        per Bernoulli decision.
+        """
+        if slate_size < 1:
+            raise ValueError("slate_size must be >= 1")
+        impressions = 0
+        clicks = 0
+        transactions = 0
+        clicked_visitors: set[int] = set()
+        for user in visitors:
+            user = int(user)
+            slate = np.asarray(recommender.recommend(user, slate_size), dtype=np.int64)
+            if not len(slate):
+                continue
+            impressions += len(slate)
+            clicked = (
+                self.rng.random(len(slate))
+                < self.truth.click_probabilities(user, slate)
+            )
+            n_clicked = int(clicked.sum())
+            if n_clicked:
+                clicks += n_clicked
+                clicked_visitors.add(user)
+                bought = (
+                    self.rng.random(n_clicked)
+                    < self.truth.purchase_probabilities(user, slate[clicked])
+                )
+                transactions += int(bought.sum())
+        return ServingMetrics(
+            visitors=len(visitors),
+            impressions=impressions,
+            clicks=clicks,
+            transactions=transactions,
+            unique_click_visitors=len(clicked_visitors),
+        )
+
+    def _run_day_loop(
+        self,
+        recommender: Recommender,
+        visitors: np.ndarray,
+        slate_size: int = 10,
+    ) -> ServingMetrics:
+        """Per-impression reference implementation (pre-vectorisation).
+
+        Retained for equivalence-in-distribution tests and the serving
+        benchmark's before/after pair.  Draws one scalar uniform per
+        impression and, on click, one more for the purchase — the
+        original interleaved stream.
+        """
         if slate_size < 1:
             raise ValueError("slate_size must be >= 1")
         impressions = 0

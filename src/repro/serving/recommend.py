@@ -13,10 +13,36 @@ import numpy as np
 
 from repro.obs.metrics import counter_add
 from repro.serving.environment import Recommender
+from repro.streaming.lru import LRUCache
 from repro.taxonomy.builder import Taxonomy
 from repro.utils.rng import ensure_rng
 
-__all__ = ["ScoreTableRecommender", "PopularityRecommender", "TaxonomyRecommender"]
+__all__ = [
+    "ScoreTableRecommender",
+    "PopularityRecommender",
+    "TaxonomyRecommender",
+    "stable_topk",
+]
+
+
+def stable_topk(row: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries, stable-sort tie order.
+
+    Equivalent to ``np.argsort(-row, kind="mergesort")[:k]`` but via an
+    O(n + k·log k) ``argpartition`` selection: the kth-largest value
+    bounds the slate, everything strictly above it is in, and boundary
+    ties are filled lowest-index-first — exactly the stable full sort's
+    tie order.  Shared by :class:`ScoreTableRecommender` and the
+    streaming :class:`~repro.streaming.frontend.ServingFrontend`.
+    """
+    n = row.shape[0]
+    if k >= n:
+        return np.argsort(-row, kind="mergesort")
+    thresh = np.partition(row, n - k)[n - k]
+    above = np.flatnonzero(row > thresh)
+    equal = np.flatnonzero(row == thresh)[: k - len(above)]
+    take = np.concatenate([above, equal])
+    return take[np.lexsort((take, -row[take]))]
 
 
 class ScoreTableRecommender(Recommender):
@@ -27,13 +53,23 @@ class ScoreTableRecommender(Recommender):
 
     Ranking is lazy: instead of a full ``argsort`` of every row at
     construction (O(U·C·log C) before the first request is served), each
-    served user gets an ``argpartition`` top-k selection on first use —
+    served user gets a :func:`stable_topk` selection on first use —
     O(C + k·log k) — with the selected prefix cached for repeat visits.
     Tie-breaking reproduces the stable full sort exactly: ties at the
     slate boundary go to the lowest candidate index.
+
+    The per-user cache is a *bounded* LRU (``cache_size`` entries,
+    eviction/hit/miss counters under ``serving.topk``): one cached row
+    per unique visitor with no bound is a slow memory leak under
+    million-user traffic.
     """
 
-    def __init__(self, scores: np.ndarray, candidate_items: np.ndarray) -> None:
+    def __init__(
+        self,
+        scores: np.ndarray,
+        candidate_items: np.ndarray,
+        cache_size: int = 4096,
+    ) -> None:
         scores = np.asarray(scores, dtype=np.float64)
         candidate_items = np.asarray(candidate_items, dtype=np.int64)
         if scores.ndim != 2 or scores.shape[1] != len(candidate_items):
@@ -42,21 +78,7 @@ class ScoreTableRecommender(Recommender):
         self._candidates = candidate_items
         # user -> (k, top-k column indices); reused whenever the cached
         # prefix covers the requested k.
-        self._topk_cache: dict[int, tuple[int, np.ndarray]] = {}
-
-    def _top_indices(self, user: int, k: int) -> np.ndarray:
-        row = self._scores[user]
-        n = row.shape[0]
-        if k >= n:
-            return np.argsort(-row, kind="mergesort")
-        # kth-largest value bounds the slate; everything strictly above
-        # it is in, ties on the boundary are filled lowest-index-first —
-        # exactly the stable mergesort's tie order.
-        thresh = np.partition(row, n - k)[n - k]
-        above = np.flatnonzero(row > thresh)
-        equal = np.flatnonzero(row == thresh)[: k - len(above)]
-        take = np.concatenate([above, equal])
-        return take[np.lexsort((take, -row[take]))]
+        self._topk_cache = LRUCache(cache_size, metric_prefix="serving.topk")
 
     def recommend(self, user: int, k: int) -> np.ndarray:
         counter_add("serving.recommendations", 1)
@@ -64,8 +86,8 @@ class ScoreTableRecommender(Recommender):
             return self._candidates[:0]
         cached = self._topk_cache.get(user)
         if cached is None or cached[0] < k:
-            cached = (k, self._top_indices(user, k))
-            self._topk_cache[user] = cached
+            cached = (k, stable_topk(self._scores[user], k))
+            self._topk_cache.put(user, cached)
         return self._candidates[cached[1][:k]]
 
 
@@ -116,12 +138,16 @@ class TaxonomyRecommender(Recommender):
             topic_id: self._rank_topic_items(topic_id)
             for topic_id in self.taxonomy.topics
         }
+        # Popularity-ranked back-fill pool, precomputed for *both* cases:
+        # without a candidate set every item is fair game — previously
+        # no-candidate-set recommenders skipped back-fill entirely and
+        # short-history users got under-filled slates.
         if self.candidate_set is not None:
             pool = np.array(sorted(self.candidate_set), dtype=np.int64)
-            order = np.argsort(-self.click_counts[pool], kind="mergesort")
-            self._ranked_candidates: list[int] = [int(i) for i in pool[order]]
         else:
-            self._ranked_candidates = []
+            pool = np.arange(len(self.click_counts), dtype=np.int64)
+        order = np.argsort(-self.click_counts[pool], kind="mergesort")
+        self._ranked_candidates: list[int] = [int(i) for i in pool[order]]
 
     def _rank_topic_items(self, topic_id: str) -> list[int]:
         items = np.asarray(self.taxonomy.topics[topic_id].items, dtype=np.int64)
@@ -164,8 +190,13 @@ class TaxonomyRecommender(Recommender):
                 if parent:
                     next_frontier.append(parent)
             frontier = next_frontier
-        if len(slate) < k and self.candidate_set is not None:
-            # Back-fill with popular candidates outside the user's topics.
-            fill = [i for i in self._ranked_candidates if i not in seen]
-            slate.extend(fill[: k - len(slate)])
+        if len(slate) < k:
+            # Back-fill with popular candidates outside the user's
+            # topics, stopping as soon as the slate is full instead of
+            # materialising the whole O(num_candidates) filtered list.
+            for item in self._ranked_candidates:
+                if len(slate) >= k:
+                    break
+                if item not in seen:
+                    slate.append(item)
         return np.asarray(slate[:k], dtype=np.int64)

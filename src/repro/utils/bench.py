@@ -59,7 +59,21 @@ hosts, mismatched ``workers_effective``), and
 :func:`render_check_table` renders the per-row delta table that
 ``repro bench --check`` prints.
 
-:func:`load_report` still reads v1–v4 files.
+Schema v6 adds the ``serving`` section — the streaming serving stack:
+
+* ``replay`` — a seeded Zipf-ish visitor stream served through
+  :class:`~repro.streaming.frontend.ServingFrontend`, uncached
+  (``before``) vs with the bounded LRU slate cache (``after``), with
+  requests/sec, p50/p99 request latency (from the ``serving.latency_ms``
+  histogram) and the cache hit rate.
+* ``delta_refresh`` — full streaming re-embed of a mutated graph
+  (``before``) vs the delta-aware
+  :meth:`~repro.streaming.refresh.StreamingEmbedder.refresh`
+  (``after``), with the recomputed-row fraction.
+* ``run_day`` — the per-impression serving-day loop (``before``) vs the
+  per-slate vectorised :meth:`OnlineEnvironment.run_day` (``after``).
+
+:func:`load_report` still reads v1–v5 files.
 """
 
 from __future__ import annotations
@@ -77,11 +91,12 @@ import numpy as np
 from repro.obs.monitor import DEFAULT_INTERVAL_S
 from repro.utils.rng import ensure_rng
 
-SCHEMA = "repro/hotpath-bench/v5"
+SCHEMA = "repro/hotpath-bench/v6"
 SCHEMA_V1 = "repro/hotpath-bench/v1"
 SCHEMA_V2 = "repro/hotpath-bench/v2"
 SCHEMA_V3 = "repro/hotpath-bench/v3"
 SCHEMA_V4 = "repro/hotpath-bench/v4"
+SCHEMA_V5 = "repro/hotpath-bench/v5"
 DEFAULT_REPORT = "BENCH_hotpaths.json"
 
 # Fractional slowdown of ``after_s`` tolerated by ``check_report``
@@ -132,6 +147,28 @@ SHARD_SIZES: dict[str, list[dict[str, Any]]] = {
         },
     ],
 }
+# Streaming serving workloads: graph shape, replayed request count and
+# slate size, visitor-day size, and the size of the mutation delta the
+# refresh row applies.  ``delta_edges`` is deliberately small — the row
+# times the delta path itself, not a degradation to full recompute.
+SERVING_SIZES: dict[str, dict[str, Any]] = {
+    "quick": {
+        "graph": (600, 400, 3600),
+        "requests": 400,
+        "k": 10,
+        "visitors": 150,
+        "delta_edges": 2,
+        "refresh_batch": 128,
+    },
+    "full": {
+        "graph": (3000, 2000, 18000),
+        "requests": 2000,
+        "k": 10,
+        "visitors": 400,
+        "delta_edges": 2,
+        "refresh_batch": 256,
+    },
+}
 
 __all__ = [
     "bench_hotpaths",
@@ -146,6 +183,7 @@ __all__ = [
     "SCHEMA_V2",
     "SCHEMA_V3",
     "SCHEMA_V4",
+    "SCHEMA_V5",
     "DEFAULT_REPORT",
     "CHECK_TOLERANCE",
     "CHECK_MIN_DELTA_S",
@@ -696,6 +734,147 @@ def _bench_shard(
     return rows
 
 
+def _bench_serving(mode: str, seed: int, repeats: int) -> list[dict[str, Any]]:
+    """The streaming serving stack: replay, delta refresh, serving day."""
+    from repro import obs
+    from repro.data.synthetic import TaobaoGenerator, WorldConfig
+    from repro.serving.environment import OnlineEnvironment
+    from repro.serving.recommend import PopularityRecommender
+    from repro.streaming import (
+        IncrementalBipartiteGraph,
+        ServingFrontend,
+        StreamingEmbedder,
+    )
+
+    spec = SERVING_SIZES[mode]
+    size = spec["graph"]
+    requests, k = int(spec["requests"]), int(spec["k"])
+    graph = _graph(size, feature_dim=8, seed=seed)
+    module = _sage_module(graph, seed)
+    meta = _graph_meta(size)
+    rows: list[dict[str, Any]] = []
+
+    # --- replay: uncached vs LRU-cached request loop -------------------
+    # Zipf-tilted visitor stream so repeat visitors exist (that is what
+    # a slate cache exists for); seeded, so both arms serve the same
+    # requests in the same order.
+    stream_rng = ensure_rng(seed)
+    users = (stream_rng.zipf(1.5, size=requests) - 1) % size[0]
+
+    def frontend(cache_size: int):
+        fe = ServingFrontend(
+            graph,
+            StreamingEmbedder(module, sample_seed=seed),
+            cache_size=cache_size,
+            microbatch=64,
+        )
+        fe.warm()
+        return fe
+
+    uncached = frontend(0)
+    cached = frontend(4096)
+    before = _best_of(lambda: uncached.serve(users, k), repeats)
+    after = _best_of(lambda: cached.serve(users, k), repeats)
+    with obs.observe() as session:
+        cached.serve(users, k)
+    hist = session.registry.snapshot()["histograms"]["serving.latency_ms"]
+    rows.append(
+        {
+            "graph": meta,
+            "variant": "replay",
+            "requests": requests,
+            "k": k,
+            "before_s": round(before, 6),
+            "after_s": round(after, 6),
+            "speedup": round(before / after, 2),
+            "req_per_sec": round(requests / after, 1),
+            "p50_ms": round(hist["p50"], 4),
+            "p99_ms": round(hist["p99"], 4),
+            "hit_rate": round(cached.hit_rate, 3),
+        }
+    )
+
+    # --- delta refresh vs full re-embed of the mutated graph ----------
+    refresh_bs = int(spec["refresh_batch"])
+    embedder = StreamingEmbedder(
+        module, sample_seed=seed, batch_size=refresh_bs, degrade_threshold=1.0
+    )
+    inc = IncrementalBipartiteGraph(graph, compact_threshold=None)
+    embedder.full_embed(inc.graph)
+    delta = int(spec["delta_edges"])
+    delta_rng = ensure_rng(seed + 1)
+    inc.add_edges(
+        np.column_stack(
+            [
+                delta_rng.integers(0, size[0], delta),
+                delta_rng.integers(0, size[1], delta),
+            ]
+        )
+    )
+    mutated = inc.graph
+    dirty_u, dirty_i = inc.dirty_users, inc.dirty_items
+    # refresh() replaces (never mutates) the cached per-step matrices,
+    # so resetting the two references replays the same delta each run.
+    base_h, base_shape = embedder._h, embedder._shape
+
+    def run_refresh() -> None:
+        embedder._h, embedder._shape = base_h, base_shape
+        embedder.refresh(mutated, dirty_u, dirty_i)
+
+    before = _best_of(
+        lambda: StreamingEmbedder(
+            module, sample_seed=seed, batch_size=refresh_bs
+        ).full_embed(mutated),
+        repeats,
+    )
+    after = _best_of(run_refresh, repeats)
+    stats = embedder.last_stats
+    rows.append(
+        {
+            "graph": meta,
+            "variant": "delta_refresh",
+            "delta_edges": delta,
+            "batch": refresh_bs,
+            "before_s": round(before, 6),
+            "after_s": round(after, 6),
+            "speedup": round(before / after, 2),
+            "refresh_mode": stats.mode,
+            "rows_recomputed": int(stats.rows_recomputed),
+            "recompute_fraction": round(stats.recompute_fraction, 3),
+        }
+    )
+
+    # --- serving day: per-impression loop vs per-slate vectorised -----
+    truth = TaobaoGenerator(
+        WorldConfig(num_users=size[0], num_items=size[1]), seed=seed
+    ).truth
+    visitors = ensure_rng(seed + 2).integers(0, size[0], int(spec["visitors"]))
+    recommender = PopularityRecommender(
+        ensure_rng(seed + 3).random(size[1]), np.arange(size[1])
+    )
+
+    def day(vectorised: bool) -> None:
+        env = OnlineEnvironment(truth, rng=seed)
+        if vectorised:
+            env.run_day(recommender, visitors, slate_size=k)
+        else:
+            env._run_day_loop(recommender, visitors, slate_size=k)
+
+    before = _best_of(lambda: day(False), repeats)
+    after = _best_of(lambda: day(True), repeats)
+    rows.append(
+        {
+            "variant": "run_day",
+            "n": int(spec["visitors"]),
+            "k": k,
+            "before_s": round(before, 6),
+            "after_s": round(after, 6),
+            "speedup": round(before / after, 2),
+        }
+    )
+    return rows
+
+
 def bench_hotpaths(
     mode: str = "quick", seed: int = 0, repeats: int = 3, workers: int = 4
 ) -> dict[str, Any]:
@@ -730,6 +909,7 @@ def bench_hotpaths(
             "parallel": _bench_parallel(mode, seed, repeats, workers),
             "score_topk": _bench_score_topk(mode, seed, repeats),
             "shard": _bench_shard(mode, seed, repeats, workers),
+            "serving": _bench_serving(mode, seed, repeats),
         },
     }
 
@@ -742,21 +922,21 @@ def write_report(report: dict[str, Any], path: str | Path = DEFAULT_REPORT) -> P
 
 
 def load_report(path: str | Path = DEFAULT_REPORT) -> dict[str, Any]:
-    """Read a report, upgrading v1–v4 files to the v5 shape in memory.
+    """Read a report, upgrading v1–v5 files to the v6 shape in memory.
 
     v1 reports predate the commit stamp and throughput columns; v2
     reports predate the ``parallel``/``score_topk`` sections and the
     ``cpu_count``/``workers`` stamps; v3 reports predate the ``shard``
     section and the per-row ``workers_effective``/``degraded`` honesty
     columns; v4 reports predate the ``telemetry`` stamp and the
-    monitor-measured ``peak_rss_source`` column.  The loader fills the
-    missing top-level fields with None and leaves rows as-is (newer
-    columns and sections are optional), so consumers only handle one
-    shape.
+    monitor-measured ``peak_rss_source`` column; v5 reports predate the
+    ``serving`` section.  The loader fills the missing top-level fields
+    with None and leaves rows as-is (newer columns and sections are
+    optional), so consumers only handle one shape.
     """
     report = json.loads(Path(path).read_text())
     schema = report.get("schema")
-    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4):
+    if schema in (SCHEMA_V1, SCHEMA_V2, SCHEMA_V3, SCHEMA_V4, SCHEMA_V5):
         report["schema"] = SCHEMA
         report.setdefault("git_commit", None)
         report.setdefault("cpu_count", None)
@@ -820,6 +1000,8 @@ _IDENTITY_FIELDS = (
     "n_init",
     "num_shards",
     "workers",
+    "requests",
+    "delta_edges",
 )
 
 

@@ -130,7 +130,14 @@ class TestLayerwiseEquivalence:
     def test_unknown_mode_rejected(self, graph):
         mod = _module(graph)
         with pytest.raises(ValueError):
-            mod.embed_all(graph, mode="streaming")
+            mod.embed_all(graph, mode="bogus")
+
+    def test_streaming_mode_matches_layerwise_shapes(self, graph):
+        mod = _module(graph, deterministic=False)
+        zu, zi = mod.embed_all(graph, mode="streaming")
+        assert zu.shape == (graph.num_users, 8)
+        assert zi.shape == (graph.num_items, 8)
+        assert np.all(np.isfinite(zu)) and np.all(np.isfinite(zi))
 
 
 class TestSamplerCache:

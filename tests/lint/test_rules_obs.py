@@ -221,3 +221,69 @@ class TestUnownedMonitor:
             """
         )
         assert codes == []
+
+
+class TestUnboundedServingCache:
+    def test_flags_dict_cache_on_recommender(self, lint_codes):
+        codes = lint_codes(
+            """
+            class ScoreTableRecommender:
+                def __init__(self):
+                    self._topk_cache = {}
+            """
+        )
+        assert codes == ["RPR305"]
+
+    def test_flags_dict_factory_on_frontend(self, lint_codes):
+        codes = lint_codes(
+            """
+            class ServingFrontend:
+                def __init__(self):
+                    self.slate_cache = dict()
+            """
+        )
+        assert codes == ["RPR305"]
+
+    def test_flags_annotated_cache_on_recommender_subclass(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.serving.environment import Recommender
+
+            class CustomArm(Recommender):
+                def __init__(self):
+                    self._score_cache: dict = {}
+            """
+        )
+        assert codes == ["RPR305"]
+
+    def test_lru_cache_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            from repro.streaming.lru import LRUCache
+
+            class ScoreTableRecommender:
+                def __init__(self):
+                    self._topk_cache = LRUCache(4096)
+            """
+        )
+        assert codes == []
+
+    def test_non_cache_dict_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            class TaxonomyRecommender:
+                def __init__(self):
+                    self._topic_ranked = {}
+            """
+        )
+        assert codes == []
+
+    def test_cache_dict_outside_serving_class_not_flagged(self, lint_codes):
+        codes = lint_codes(
+            """
+            class ShardStore:
+                def __init__(self):
+                    self._block_cache = {}
+            """
+        )
+        assert codes == []

@@ -56,6 +56,18 @@ class TestCommands:
             "quick",
             [{"users": 120, "items": 90, "clusters": 6, "shards": 3, "degree": 4.0}],
         )
+        monkeypatch.setitem(
+            bench.SERVING_SIZES,
+            "quick",
+            {
+                "graph": (50, 40, 200),
+                "requests": 60,
+                "k": 5,
+                "visitors": 25,
+                "delta_edges": 2,
+                "refresh_batch": 16,
+            },
+        )
         out = tmp_path / "bench.json"
         code = main(["bench", "--mode", "quick", "--repeats", "1",
                      "--out", str(out)])
@@ -68,12 +80,52 @@ class TestCommands:
         assert "git_commit" in data
         assert set(data["benchmarks"]) == {
             "embed_all", "train_epoch", "weighted_sampling", "kmeans",
-            "parallel", "score_topk", "shard",
+            "parallel", "score_topk", "shard", "serving",
         }
+        serving_variants = {
+            row["variant"] for row in data["benchmarks"]["serving"]
+        }
+        assert serving_variants == {"replay", "delta_refresh", "run_day"}
         for row in data["benchmarks"]["parallel"]:
             assert row["workers_effective"] >= 1
             assert isinstance(row["degraded"], bool)
         assert data["benchmarks"]["embed_all"][0]["vertices_per_sec"] > 0
+
+
+class TestServeCommand:
+    def test_serve_runs_and_prints_rounds(self, capsys):
+        code = main(
+            ["serve", "--users", "60", "--items", "40", "--edges", "240",
+             "--rounds", "2", "--requests", "50", "--batch-size", "16"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "warmed 60x40 graph" in out
+        assert "round" in out
+        assert "total: 100 requests" in out
+
+    def test_serve_json_report(self, capsys):
+        import json
+
+        code = main(
+            ["serve", "--users", "60", "--items", "40", "--edges", "240",
+             "--rounds", "2", "--requests", "50", "--batch-size", "16",
+             "--json"]
+        )
+        assert code == 0
+        data = json.loads(capsys.readouterr().out)
+        assert len(data["rounds"]) == 2
+        assert data["total_requests"] == 100
+        assert 0.0 <= data["hit_rate"] <= 1.0
+        for row in data["rounds"]:
+            assert row["refresh_mode"] in {"delta", "full"}
+            assert row["req_per_sec"] > 0
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.rounds == 4
+        assert args.refresh_every == 1
+        assert args.refresh_threshold is None
 
 
 class TestBenchParser:

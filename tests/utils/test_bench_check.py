@@ -122,6 +122,46 @@ class TestCheckReport:
         statuses = {e["status"] for e in result["rows"]}
         assert {"ok", "new", "missing"} <= statuses
 
+    def test_serving_rows_match_by_identity(self):
+        # The v6 serving section round-trips: replay / delta_refresh /
+        # run_day rows match themselves via their identity fields.
+        rep = _report(
+            serving=[
+                _row(0.4, graph={"num_users": 600, "num_items": 400,
+                                 "num_edges": 3600},
+                     variant="replay", k=10, requests=400,
+                     req_per_sec=1000.0, hit_rate=0.7,
+                     p50_ms=0.1, p99_ms=0.5),
+                _row(0.3, graph={"num_users": 600, "num_items": 400,
+                                 "num_edges": 3600},
+                     variant="delta_refresh", delta_edges=2, batch=128,
+                     refresh_mode="delta", recompute_fraction=0.5),
+                _row(0.2, graph={"num_users": 600, "num_items": 400,
+                                 "num_edges": 3600},
+                     variant="run_day", visitors=150),
+            ]
+        )
+        result = check_report(rep, copy.deepcopy(rep))
+        assert result["regressions"] == []
+        assert result["checked"] == 3
+        assert result["unmatched"] == 0
+        assert all(e["status"] == "ok" for e in result["rows"])
+
+    def test_slowed_serving_row_regresses(self):
+        base = _report(
+            serving=[
+                _row(0.4, graph={"num_users": 600, "num_items": 400,
+                                 "num_edges": 3600},
+                     variant="replay", k=10, requests=400),
+            ]
+        )
+        cur = copy.deepcopy(base)
+        cur["benchmarks"]["serving"][0]["after_s"] = 1.0  # +150%, +600 ms
+        result = check_report(cur, base)
+        assert len(result["regressions"]) == 1
+        assert "replay" in result["regressions"][0]
+        assert result["rows"][0]["status"] == "regression"
+
     def test_negative_tolerance_rejected(self):
         rep = _report(kmeans=[_row(0.2, variant="single_pass", n=50, dim=4, k=3)])
         with pytest.raises(ValueError):
